@@ -1,0 +1,40 @@
+"""Ablations the paper's text calls out (§II-B, §II-D, §VI-A, §VI-C)."""
+import pytest
+
+from repro.bench.figures import (
+    ablation_distribution_mismatch,
+    ablation_fusion,
+    ablation_partition_tradeoff,
+    ablation_row_vs_nonzero,
+)
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_row_vs_nonzero_spmv(benchmark, cfg):
+    r = run_once(benchmark, ablation_row_vs_nonzero, cfg, nodes=8)
+    benchmark.extra_info["table"] = r.text
+    # the non-zero split always pays reduction traffic; row-based never does
+    assert all(d["nz_comm"] > 0 for d in r.data.values())
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_partition_balance_tradeoff(benchmark, cfg):
+    r = run_once(benchmark, ablation_partition_tradeoff, cfg, pieces=8)
+    benchmark.extra_info["table"] = r.text
+    for ds, d in r.data.items():
+        assert d["nonzero_balance"] <= d["universe_balance"] + 0.05, ds
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_fusion_vs_pairwise(benchmark, cfg):
+    r = run_once(benchmark, ablation_fusion, cfg, nodes=4)
+    benchmark.extra_info["table"] = r.text
+    assert r.data["pairwise"] > 1.2 * r.data["fused"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_distribution_mismatch(benchmark, cfg):
+    r = run_once(benchmark, ablation_distribution_mismatch, cfg, nodes=4)
+    benchmark.extra_info["table"] = r.text
+    assert r.data["mismatched"][1] > r.data["matched"][1]  # reshaping bytes

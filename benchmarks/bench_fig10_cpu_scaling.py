@@ -1,0 +1,71 @@
+"""Fig. 10: CPU strong scaling for all six kernels (paper §VI-A).
+
+Each benchmark regenerates one subplot's series — speedup over SpDISTAL on
+1 node for SpDISTAL/PETSc/Trilinos/CTF — and attaches them to the report.
+The shape assertions encode the paper's headline comparisons.
+"""
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig10
+from conftest import run_once
+
+NODES = (1, 2, 4, 8, 16)
+
+
+def _attach(benchmark, result):
+    benchmark.extra_info["figure"] = result.name
+    benchmark.extra_info["series"] = {
+        k: [None if not np.isfinite(v) else round(v, 4) for v in vals]
+        for k, vals in result.data["series"].items()
+    }
+    benchmark.extra_info["table"] = result.text
+    return result.data["series"]
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10a_spmv(benchmark, cfg):
+    r = run_once(benchmark, fig10, "spmv", cfg, node_counts=NODES)
+    s = _attach(benchmark, r)
+    assert s["SpDISTAL"][-1] > 4  # scales
+    assert s["SpDISTAL"][0] / s["CTF"][0] > 30  # 1-2 orders over CTF
+    assert s["SpDISTAL"][0] / s["PETSc"][0] < 8  # competitive with PETSc
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10b_spmm(benchmark, cfg):
+    r = run_once(benchmark, fig10, "spmm", cfg, node_counts=NODES)
+    s = _attach(benchmark, r)
+    assert s["SpDISTAL"][0] / s["Trilinos"][0] > 1.5  # paper: 3.8x median
+    assert s["SpDISTAL"][0] / s["CTF"][0] > 5
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10c_spadd3(benchmark, cfg):
+    r = run_once(benchmark, fig10, "spadd3", cfg, node_counts=NODES)
+    s = _attach(benchmark, r)
+    assert s["SpDISTAL"][1] / s["PETSc"][1] > 4  # paper: 11.8x median
+    assert s["SpDISTAL"][1] / s["Trilinos"][1] > 10  # paper: 38.5x median
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10d_sddmm(benchmark, cfg):
+    r = run_once(benchmark, fig10, "sddmm", cfg, node_counts=NODES)
+    s = _attach(benchmark, r)
+    assert s["SpDISTAL"][-1] > 8  # near-perfect scaling (load balanced)
+    assert s["SpDISTAL"][2] / s["CTF"][2] > 5  # paper: 15.3x median
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10e_spttv(benchmark, cfg):
+    r = run_once(benchmark, fig10, "spttv", cfg, node_counts=NODES)
+    s = _attach(benchmark, r)
+    assert s["SpDISTAL"][0] / s["CTF"][0] > 30  # paper: 161x median
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10f_spmttkrp(benchmark, cfg):
+    r = run_once(benchmark, fig10, "spmttkrp", cfg, node_counts=NODES)
+    s = _attach(benchmark, r)
+    ratio = s["SpDISTAL"][0] / s["CTF"][0]
+    assert 0.2 < ratio < 10  # paper: parity (median 97% of CTF)

@@ -1,0 +1,40 @@
+"""Fig. 12: GPU vs CPU for SpTTV and SpMTTKRP (non-zero based GPU kernels)."""
+import pytest
+
+from repro.bench.figures import fig12
+from conftest import run_once
+
+
+def _attach(benchmark, result):
+    benchmark.extra_info["figure"] = result.name
+    benchmark.extra_info["cells"] = {
+        f"{ds}@{g}": cell for (ds, g), cell in result.data["cells"].items()
+    }
+    benchmark.extra_info["table"] = result.text
+    return result
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_spttv(benchmark, cfg):
+    r = _attach(benchmark, run_once(benchmark, fig12, "spttv", cfg,
+                                    gpu_counts=(4, 8, 16)))
+    speedups = [s for s in r.data["speedups"].values()]
+    # paper: median 2.0x GPU speedup when data fits
+    assert sum(1 for s in speedups if s > 1.0) > len(speedups) // 2
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_spmttkrp(benchmark, cfg):
+    r = _attach(benchmark, run_once(benchmark, fig12, "spmttkrp", cfg,
+                                    gpu_counts=(4, 8, 16)))
+    sp = r.data["speedups"]
+    # paper: 2.2x median, increasing with scale (better load balance)
+    by_ds = {}
+    for (ds, g), s in sp.items():
+        by_ds.setdefault(ds, []).append((g, s))
+    increasing = 0
+    for ds, series in by_ds.items():
+        series.sort()
+        if series[-1][1] >= series[0][1]:
+            increasing += 1
+    assert increasing >= len(by_ds) // 2

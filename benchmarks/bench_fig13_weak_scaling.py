@@ -1,0 +1,30 @@
+"""Fig. 13: SpMV weak scaling on synthetic banded matrices up to 64 nodes."""
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig13
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_weak_scaling(benchmark, cfg):
+    r = run_once(benchmark, fig13, cfg,
+                 node_counts=(1, 2, 4, 8, 16, 32, 64))
+    benchmark.extra_info["figure"] = r.name
+    benchmark.extra_info["table"] = r.text
+    s = r.data["series"]
+    benchmark.extra_info["series"] = {
+        k: [None if not np.isfinite(v) else round(v, 3) for v in vals]
+        for k, vals in s.items()
+    }
+    # flat weak scaling: last/first within 20% for CPU systems (paper: ~flat)
+    for name in ("SpDISTAL", "PETSc"):
+        vals = [v for v in s[name] if np.isfinite(v)]
+        assert min(vals) > 0.8 * max(vals), name
+    # SpDISTAL within 0.9-1.3x of PETSc on CPUs (paper: 90-92%)
+    ratio = s["SpDISTAL"][0] / s["PETSc"][0]
+    assert 0.7 < ratio < 1.4
+    # GPU lines exist and are also flat where they complete
+    gvals = [v for v in s["SpDISTAL-GPU"] if np.isfinite(v)]
+    assert len(gvals) >= 5
+    assert min(gvals) > 0.75 * max(gvals)

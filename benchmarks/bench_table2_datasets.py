@@ -1,0 +1,18 @@
+"""Table II: the dataset inventory (scaled synthetic stand-ins)."""
+import pytest
+
+from repro.bench.figures import table2_inventory
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_inventory(benchmark, cfg):
+    r = run_once(benchmark, table2_inventory, cfg)
+    benchmark.extra_info["table"] = r.text
+    rows = r.data["rows"]
+    assert len(rows) == 14  # ten matrices + four tensors, as in the paper
+    names = {name for name, *_ in rows}
+    for expected in ("arabic-2005", "twitter7", "nlpkkt240", "patents",
+                     "freebase_music", "nell-2"):
+        assert expected in names
+    assert all(nnz > 0 for _, _, nnz, _ in rows)

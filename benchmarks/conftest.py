@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Each figure benchmark runs its experiment driver once (rounds=1) — the
+driver itself sweeps node counts and datasets — and attaches the paper-
+facing results (speedup series, heatmap cells) to ``extra_info`` so the
+JSON report carries the reproduced figures.
+"""
+import pytest
+
+from repro.bench import default_config
+
+
+@pytest.fixture(scope="session")
+def cfg():
+    # Scale 0.3 keeps every figure regeneration to seconds while preserving
+    # the structural classes of Table II.
+    return default_config(dataset_scale=0.3)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

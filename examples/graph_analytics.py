@@ -1,0 +1,88 @@
+"""Graph analytics: PageRank on a distributed web-connectivity matrix.
+
+The paper's introduction motivates sparse tensor algebra for data
+analytics; PageRank is the canonical iterated-SpMV workload.  This example
+compares the two SpMV distribution strategies of §II-D on a skewed web
+graph: the row-based algorithm (imbalanced under hub rows) and the
+non-zero-based algorithm (perfect balance at the price of reductions).
+
+Run:  python examples/graph_analytics.py
+"""
+import numpy as np
+
+from repro.bench.models import default_config
+from repro.data.matrices import power_law
+from repro.legion import Machine, Runtime
+from repro.taco import CSR, Tensor, index_vars
+from repro.core import compile_kernel
+
+DAMPING = 0.85
+NODES = 8
+ITERS = 10
+
+
+def build_transition(n=2500, nnz=80_000):
+    """Column-stochastic transition matrix of a synthetic web graph."""
+    A = power_law(n, nnz, alpha=1.7, seed=3).tocsc()
+    out = np.maximum(A.sum(axis=0).A.ravel(), 1.0)
+    A = A @ np.ones(1)[0] if False else A  # keep CSC
+    A = A.multiply(1.0 / out).tocsr()
+    return A
+
+
+def compile_spmv(A, strategy, machine):
+    B = Tensor.from_scipy("B", A, CSR)
+    x = Tensor.from_dense("x", np.full(A.shape[1], 1.0 / A.shape[1]))
+    y = Tensor.zeros("y", (A.shape[0],))
+    i, j = index_vars("i j")
+    y[i] = B[i, j] * x[j]
+    if strategy == "rows":
+        io, ii = index_vars("io ii")
+        s = (y.schedule().divide(i, io, ii, machine.size).distribute(io)
+             .communicate([y, B, x], io).parallelize(ii))
+    else:
+        f, fp, fo, fi = index_vars("f fp fo fi")
+        s = (y.schedule().fuse(i, j, f).pos(f, fp, B[i, j])
+             .divide(fp, fo, fi, machine.size).distribute(fo)
+             .communicate([y, B, x], fo))
+    return compile_kernel(s, machine), x, y
+
+
+def pagerank(A, strategy):
+    cfg = default_config()
+    machine = Machine.cpu(NODES, cfg.node)
+    runtime = Runtime(machine, cfg.legion_network())
+    kernel, x, y = compile_spmv(A, strategy, machine)
+    n = A.shape[0]
+    rank = np.full(n, 1.0 / n)
+    total = 0.0
+    comm = 0.0
+    for _ in range(ITERS):
+        x.vals.data[:] = rank
+        res = kernel.execute(runtime)  # per-iteration staging is re-paid
+        rank = DAMPING * y.vals.data + (1 - DAMPING) / n
+        total += res.simulated_seconds
+        comm += res.metrics.total_comm_bytes()
+    return rank, total, comm
+
+
+def main():
+    A = build_transition()
+    ref = np.full(A.shape[0], 1.0 / A.shape[0])
+    for _ in range(ITERS):
+        ref = DAMPING * (A @ ref) + (1 - DAMPING) / A.shape[0]
+
+    print(f"PageRank on {A.shape[0]:,}-page web graph ({A.nnz:,} links), "
+          f"{NODES} nodes, {ITERS} iterations\n")
+    for strategy in ("rows", "nonzeros"):
+        rank, seconds, comm = pagerank(A, strategy)
+        assert np.allclose(rank, ref), strategy
+        print(f"  {strategy:9s}: {seconds * 1e3:8.2f} ms simulated, "
+              f"{comm:10,.0f} bytes moved (verified)")
+    print("\nRow-degree skew makes the row-based split imbalanced; the "
+          "non-zero split balances work but pays boundary reductions "
+          "(paper §II-D).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Tensor decomposition: CP-ALS factor updates via distributed SpMTTKRP.
+
+Tensor factorizations in data analytics are the paper's motivation for
+SpTTV/SpMTTKRP (§VI-A).  This example runs the MTTKRP at the heart of one
+CP-ALS sweep over a FROSTT-like 3-tensor, for every mode, on 8 simulated
+nodes, and cross-checks against dense einsum.
+
+Run:  python examples/tensor_decomposition.py
+"""
+import numpy as np
+
+from repro.bench.models import default_config
+from repro.data.tensors import frostt_like
+from repro.legion import Machine, Runtime
+from repro.taco import CSF3, Tensor, index_vars
+from repro.core import compile_kernel
+
+NODES = 8
+RANK = 12
+
+
+def mttkrp_mode0(T, C, D, machine, runtime):
+    """A(i,r) = sum_{j,k} T(i,j,k) C(j,r) D(k,r), distributed row-based."""
+    Ct = Tensor.from_dense("C", C)
+    Dt = Tensor.from_dense("D", D)
+    A = Tensor.zeros("A", (T.shape[0], C.shape[1]))
+    i, j, k, r, io, ii = index_vars("i j k r io ii")
+    A[i, r] = T[i, j, k] * Ct[j, r] * Dt[k, r]
+    kernel = compile_kernel(
+        A.schedule().divide(i, io, ii, machine.size).distribute(io)
+        .communicate([A, T, Ct, Dt], io).parallelize(ii),
+        machine,
+    )
+    kernel.execute(runtime)
+    res = kernel.execute(runtime)
+    return A.dense_array().copy(), res
+
+
+def main():
+    rng = np.random.default_rng(9)
+    cfg = default_config()
+    machine = Machine.cpu(NODES, cfg.node)
+
+    coords, vals, shape = frostt_like((600, 450, 300), 40_000, seed=4)
+    dense = np.zeros(shape)
+    np.add.at(dense, tuple(coords), vals)
+
+    factors = [rng.random((s, RANK)) for s in shape]
+    mode_names = "ijk"
+    print(f"CP-ALS MTTKRP sweep on a {shape} tensor "
+          f"({vals.size:,} nnz, rank {RANK}, {NODES} nodes)\n")
+
+    total = 0.0
+    for mode in range(3):
+        # Rotate the tensor so the updated mode is first (CSF stores the
+        # outer mode dense) — the standard CP-ALS formulation.
+        perm = [mode] + [m for m in range(3) if m != mode]
+        T = Tensor.from_coo(
+            "T", [coords[p] for p in perm], vals,
+            tuple(shape[p] for p in perm), CSF3,
+        )
+        C = factors[perm[1]]
+        D = factors[perm[2]]
+        runtime = Runtime(machine, cfg.legion_network())
+        got, res = mttkrp_mode0(T, C, D, machine, runtime)
+        expected = np.einsum(
+            "ijk,jr,kr->ir", np.transpose(dense, perm), C, D
+        )
+        assert np.allclose(got, expected), f"mode {mode}"
+        total += res.simulated_seconds
+        print(f"  mode {mode_names[mode]}: {res.simulated_seconds * 1e3:8.2f} ms "
+              f"simulated, {res.metrics.total_comm_bytes():8,.0f} bytes "
+              "(verified)")
+        # In a real ALS we would now solve for factors[mode]; the MTTKRP
+        # dominates the cost, so we sweep without the least-squares solve.
+
+    print(f"\nFull MTTKRP sweep: {total * 1e3:.2f} ms simulated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro: a Python reproduction of SpDISTAL (SC 2022).
+
+SpDISTAL compiles sparse tensor algebra to distributed machines by
+combining tensor index notation, a sparse format language, tensor
+distribution notation and a scheduling language, lowered through dependent
+partitioning onto a Legion-style task runtime.
+
+Public API re-exports live here; see README.md for a tour.
+"""
+from .errors import CompileError, FormatError, OOMError, ReproError, ScheduleError
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CompileError",
+    "FormatError",
+    "OOMError",
+    "ReproError",
+    "ScheduleError",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Comparison targets: models of PETSc, Trilinos/Tpetra and CTF.
+
+Each baseline computes the true numerical result and a simulated execution
+time from the same hardware parameters SpDISTAL uses, reproducing the
+structural behaviour the paper describes for each system (see the module
+docstrings for the specific characteristics modelled).
+"""
+from . import ctf, petsc, trilinos
+from .common import BaselineResult, bsp_step, halo_bytes_per_rank, row_blocks
+from .ctf import CtfConfig
+from .petsc import PetscConfig
+from .trilinos import TrilinosConfig
+
+__all__ = [
+    "ctf", "petsc", "trilinos",
+    "BaselineResult", "bsp_step", "halo_bytes_per_rank", "row_blocks",
+    "CtfConfig", "PetscConfig", "TrilinosConfig",
+]

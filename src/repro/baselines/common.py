@@ -1,0 +1,96 @@
+"""Shared machinery for the baseline system models.
+
+Each baseline computes the real numerical answer (so tests can verify it
+against SpDISTAL) and derives a simulated execution time from the same
+machine/roofline parameters SpDISTAL uses, plus the communication pattern
+and per-rank structure characteristic of that system.  All baselines are
+bulk-synchronous MPI programs, so a step costs
+``max_rank(compute + comm) + sync`` under :meth:`Network.mpi`.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..legion.machine import Machine, NodeSpec, Processor, Work
+from ..legion.network import Network
+
+__all__ = ["BaselineResult", "bsp_step", "row_blocks", "halo_bytes_per_rank"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline kernel execution."""
+
+    value: object  # the numerical result (ndarray or scipy matrix)
+    seconds: float  # simulated wall time of one trial
+    comm_bytes: float = 0.0
+    steps: List[str] = field(default_factory=list)
+    oom: bool = False
+
+    def throughput(self) -> float:
+        return 1.0 / self.seconds if self.seconds > 0 else float("inf")
+
+
+def bsp_step(
+    procs: Sequence[Processor],
+    per_rank_work: Sequence[Work],
+    per_rank_comm_bytes: Sequence[float],
+    network: Network,
+    *,
+    messages_per_rank: int = 2,
+) -> Tuple[float, float]:
+    """One bulk-synchronous step: returns (seconds, total comm bytes)."""
+    assert len(per_rank_work) == len(procs)
+    worst = 0.0
+    total = 0.0
+    for proc, work, nbytes in zip(procs, per_rank_work, per_rank_comm_bytes):
+        compute = proc.seconds_for(work)
+        comm = 0.0
+        if nbytes > 0:
+            comm = network.alpha * messages_per_rank + nbytes / network.inter_node_bw
+            total += nbytes
+        worst = max(worst, compute + comm)
+    return worst + network.sync_overhead, total
+
+
+def row_blocks(nrows: int, ranks: int) -> List[Tuple[int, int]]:
+    """PETSc-style near-equal contiguous row blocks, one per rank."""
+    base, extra = divmod(nrows, ranks)
+    blocks = []
+    start = 0
+    for r in range(ranks):
+        n = base + (1 if r < extra else 0)
+        blocks.append((start, start + n - 1))
+        start += n
+    return blocks
+
+
+def halo_bytes_per_rank(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    blocks: Sequence[Tuple[int, int]],
+    col_blocks: Sequence[Tuple[int, int]],
+    *,
+    value_bytes: int = 8,
+) -> List[float]:
+    """Off-block unique column counts × value size — the VecScatter volume.
+
+    ``col_blocks`` gives each rank's owned range of the source vector (for
+    square operators this equals the row blocks).
+    """
+    out: List[float] = []
+    for (r0, r1), (c0, c1) in zip(blocks, col_blocks):
+        if r1 < r0:
+            out.append(0.0)
+            continue
+        cols = indices[indptr[r0] : indptr[r1 + 1]]
+        if cols.size == 0:
+            out.append(0.0)
+            continue
+        uniq = np.unique(cols)
+        off = uniq[(uniq < c0) | (uniq > c1)]
+        out.append(float(off.size * value_bytes))
+    return out

@@ -1,0 +1,145 @@
+"""PETSc model: hand-written distributed sparse linear algebra (paper §VI).
+
+Characteristics reproduced from the paper's description and results:
+
+* one MPI rank per core (no multithreading — SpDISTAL's OpenMP dynamic load
+  balance is what buys its 1.8x median on SpMV);
+* row-block (AIJ) matrix distribution with VecScatter halo exchanges;
+* SpMV / SpMM are expert-tuned and scale essentially perfectly;
+* no fused 3-way addition: SpAdd3 runs as two pairwise ``MatAXPY`` calls
+  with full intermediate assembly (11.8x median loss to SpDISTAL);
+* higher-order tensor kernels (SpTTV, SpMTTKRP) are unsupported;
+* GPU: one rank per GPU; SpMM pays a large penalty going from one to many
+  GPUs (per the PETSc developers, reproduced as a full dense-operand
+  broadcast per step); no GPU SpAdd with unknown output pattern.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import OOMError
+from ..legion.machine import Machine, NodeSpec, Work
+from ..legion.network import Network
+from .common import BaselineResult, bsp_step, halo_bytes_per_rank, row_blocks
+
+__all__ = ["PetscConfig", "spmv", "spmm", "spadd3"]
+
+F8 = 8
+MAX_INT32 = 2**31 - 1
+
+
+class PetscConfig:
+    """Rank layout + machine parameters for a PETSc run."""
+
+    def __init__(self, nodes: int = 1, *, gpus: Optional[int] = None,
+                 node: NodeSpec = NodeSpec(), network: Optional[Network] = None):
+        self.nodes = nodes
+        self.gpus = gpus
+        self.node = node
+        if gpus is not None:
+            self.machine = Machine.gpu(gpus, node)
+            self.ranks = gpus
+        else:
+            self.machine = Machine.cpu_cores(nodes, node)
+            self.ranks = self.machine.size
+        self.network = network if network is not None else Network.mpi(self.ranks)
+
+    @property
+    def procs(self):
+        return self.machine.processors
+
+
+def _check_indices(A: sp.csr_matrix) -> None:
+    if A.nnz > MAX_INT32 or max(A.shape) > MAX_INT32:
+        raise OOMError(0, A.nnz, MAX_INT32, what="PETSc 32-bit indexing")
+
+
+def spmv(A: sp.csr_matrix, x: np.ndarray, config: PetscConfig) -> BaselineResult:
+    """Distributed MatMult: halo exchange + local CSR kernel per rank."""
+    A = A.tocsr()
+    _check_indices(A)
+    blocks = row_blocks(A.shape[0], config.ranks)
+    col_blocks = row_blocks(A.shape[1], config.ranks)
+    halos = halo_bytes_per_rank(A.indptr, A.indices, blocks, col_blocks)
+    works = []
+    for r0, r1 in blocks:
+        nnz = int(A.indptr[r1 + 1] - A.indptr[r0]) if r1 >= r0 else 0
+        rows = max(0, r1 - r0 + 1)
+        works.append(Work(flops=2.0 * nnz, bytes=float(nnz * 3 * F8 + rows * 2 * F8)))
+    seconds, comm = bsp_step(config.procs, works, halos, config.network)
+    return BaselineResult(value=A @ x, seconds=seconds, comm_bytes=comm,
+                          steps=["VecScatter", "MatMult"])
+
+
+def spmm(A: sp.csr_matrix, C: np.ndarray, config: PetscConfig) -> BaselineResult:
+    """MatMatMult against a dense operand.
+
+    On GPUs the current implementation pays a full dense-operand broadcast
+    when running on more than one GPU (paper, per PETSc developers).
+    """
+    A = A.tocsr()
+    _check_indices(A)
+    k = C.shape[1]
+    blocks = row_blocks(A.shape[0], config.ranks)
+    col_blocks = row_blocks(A.shape[1], config.ranks)
+    halos = [h * k for h in halo_bytes_per_rank(A.indptr, A.indices, blocks, col_blocks)]
+    if config.gpus is not None and config.ranks > 1:
+        halos = [h + C.size * F8 for h in halos]  # multi-GPU penalty
+    works = []
+    for r0, r1 in blocks:
+        nnz = int(A.indptr[r1 + 1] - A.indptr[r0]) if r1 >= r0 else 0
+        rows = max(0, r1 - r0 + 1)
+        works.append(
+            Work(flops=2.0 * nnz * k, bytes=float(nnz * (2 + k) * F8 + rows * k * F8))
+        )
+    if config.gpus is not None:
+        per_gpu = (A.nnz * 2 * F8) / config.ranks + C.size * F8
+        if per_gpu > config.node.gpu_mem_bytes:
+            return BaselineResult(None, float("inf"), oom=True, steps=["OOM"])
+    seconds, comm = bsp_step(config.procs, works, halos, config.network)
+    return BaselineResult(value=A @ C, seconds=seconds, comm_bytes=comm,
+                          steps=["VecScatter", "MatMatMult"])
+
+
+def spadd3(
+    B: sp.csr_matrix, C: sp.csr_matrix, D: sp.csr_matrix, config: PetscConfig
+) -> BaselineResult:
+    """Two pairwise MatAXPY calls with DIFFERENT_NONZERO_PATTERN assembly.
+
+    Each pairwise add reads both operands, merges patterns and assembles a
+    brand-new matrix (malloc + copy), losing locality versus SpDISTAL's
+    single fused sweep.  PETSc has no GPU sparse-add with unknown pattern.
+    """
+    if config.gpus is not None:
+        return BaselineResult(None, float("inf"), oom=True, steps=["unsupported on GPU"])
+    B, C, D = B.tocsr(), C.tocsr(), D.tocsr()
+    for m in (B, C, D):
+        _check_indices(m)
+    blocks = row_blocks(B.shape[0], config.ranks)
+    tmp = B + C
+    out = tmp + D
+    ASSEMBLY_PASSES = 8.0  # symbolic + numeric merge, malloc, copy-in, re-assembly
+
+    def add_works(x: sp.csr_matrix, y: sp.csr_matrix, z: sp.csr_matrix):
+        works = []
+        for r0, r1 in blocks:
+            if r1 < r0:
+                works.append(Work.zero())
+                continue
+            nx = int(x.indptr[r1 + 1] - x.indptr[r0])
+            ny = int(y.indptr[r1 + 1] - y.indptr[r0])
+            nz = int(z.indptr[r1 + 1] - z.indptr[r0])
+            touched = nx + ny + nz
+            works.append(
+                Work(flops=float(touched) * 2.0,
+                     bytes=float(touched * ASSEMBLY_PASSES * 2 * F8))
+            )
+        return works
+
+    s1, c1 = bsp_step(config.procs, add_works(B, C, tmp), [0.0] * config.ranks, config.network)
+    s2, c2 = bsp_step(config.procs, add_works(tmp, D, out), [0.0] * config.ranks, config.network)
+    return BaselineResult(value=out, seconds=s1 + s2, comm_bytes=c1 + c2,
+                          steps=["MatAXPY", "MatAXPY"])

@@ -1,0 +1,25 @@
+"""Benchmark harness: scaled machine model, kernel runners, figure drivers."""
+from .models import BenchConfig, RATE_SCALE, default_config
+from .harness import (
+    SimResult,
+    shifted,
+    spdistal_sddmm,
+    spdistal_spadd3,
+    spdistal_spmm,
+    spdistal_spmttkrp,
+    spdistal_spmv,
+    spdistal_spttv,
+)
+from .baseline_runners import ctf_run, petsc_run, trilinos_run
+from .reporting import format_heatmap, format_scaling, format_table, geomean
+from . import figures
+
+__all__ = [
+    "BenchConfig", "RATE_SCALE", "default_config",
+    "SimResult", "shifted",
+    "spdistal_sddmm", "spdistal_spadd3", "spdistal_spmm",
+    "spdistal_spmttkrp", "spdistal_spmv", "spdistal_spttv",
+    "ctf_run", "petsc_run", "trilinos_run",
+    "format_heatmap", "format_scaling", "format_table", "geomean",
+    "figures",
+]

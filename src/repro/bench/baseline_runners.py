@@ -1,0 +1,123 @@
+"""Baseline runners sharing the scaled machine model with SpDISTAL."""
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..baselines import ctf as ctf_mod
+from ..baselines import petsc as petsc_mod
+from ..baselines import trilinos as trilinos_mod
+from ..baselines.common import BaselineResult
+from ..baselines.ctf import CtfConfig
+from ..baselines.petsc import PetscConfig
+from ..baselines.trilinos import TrilinosConfig
+from ..errors import OOMError
+from ..taco.tensor import Tensor
+from .harness import SimResult
+from .models import BenchConfig, default_config
+
+__all__ = [
+    "petsc_run",
+    "trilinos_run",
+    "ctf_run",
+]
+
+
+def _to_sim(system: str, r: BaselineResult) -> SimResult:
+    return SimResult(system, r.seconds, r.comm_bytes, oom=r.oom, value=r.value)
+
+
+def _petsc_cfg(nodes: int, gpus: Optional[int], cfg: BenchConfig) -> PetscConfig:
+    ranks = gpus if gpus is not None else nodes * cfg.node.cores
+    return PetscConfig(nodes, gpus=gpus, node=cfg.node, network=cfg.mpi_network(ranks))
+
+
+def _trilinos_cfg(nodes: int, gpus: Optional[int], cfg: BenchConfig) -> TrilinosConfig:
+    ranks = gpus if gpus is not None else nodes * cfg.node.sockets
+    return TrilinosConfig(nodes, gpus=gpus, node=cfg.node,
+                          network=cfg.mpi_network(ranks),
+                          pcie_bw=16.0e9 * cfg.rate_scale)
+
+
+def _ctf_cfg(nodes: int, cfg: BenchConfig) -> CtfConfig:
+    return CtfConfig(nodes, node=cfg.node, network=cfg.mpi_network(nodes * cfg.node.cores))
+
+
+def petsc_run(kernel: str, args, nodes: int, cfg: Optional[BenchConfig] = None,
+              *, gpus: Optional[int] = None) -> SimResult:
+    cfg = cfg or default_config()
+    pc = _petsc_cfg(nodes, gpus, cfg)
+    try:
+        if kernel == "spmv":
+            return _to_sim("PETSc", petsc_mod.spmv(args[0], args[1], pc))
+        if kernel == "spmm":
+            return _to_sim("PETSc", petsc_mod.spmm(args[0], args[1], pc))
+        if kernel == "spadd3":
+            return _to_sim("PETSc", petsc_mod.spadd3(args[0], args[1], args[2], pc))
+    except OOMError:
+        return SimResult("PETSc", float("inf"), oom=True)
+    return SimResult("PETSc", float("inf"), oom=True)  # unsupported kernel
+
+
+def trilinos_run(kernel: str, args, nodes: int, cfg: Optional[BenchConfig] = None,
+                 *, gpus: Optional[int] = None) -> SimResult:
+    cfg = cfg or default_config()
+    tc = _trilinos_cfg(nodes, gpus, cfg)
+    try:
+        if kernel == "spmv":
+            return _to_sim("Trilinos", trilinos_mod.spmv(args[0], args[1], tc))
+        if kernel == "spmm":
+            return _to_sim("Trilinos", trilinos_mod.spmm(args[0], args[1], tc))
+        if kernel == "spadd3":
+            return _to_sim("Trilinos", trilinos_mod.spadd3(args[0], args[1], args[2], tc))
+    except OOMError:
+        return SimResult("Trilinos", float("inf"), oom=True)
+    return SimResult("Trilinos", float("inf"), oom=True)
+
+
+def ctf_run(kernel: str, args, nodes: int, cfg: Optional[BenchConfig] = None) -> SimResult:
+    cfg = cfg or default_config()
+    cc = _ctf_cfg(nodes, cfg)
+    try:
+        if kernel == "spmv":
+            return _to_sim("CTF", ctf_mod.spmv(args[0], args[1], cc))
+        if kernel == "spmm":
+            return _to_sim("CTF", ctf_mod.spmm(args[0], args[1], cc))
+        if kernel == "spadd3":
+            return _to_sim("CTF", ctf_mod.spadd3(args[0], args[1], args[2], cc))
+        if kernel == "sddmm":
+            return _to_sim("CTF", ctf_mod.sddmm(args[0], args[1], args[2], cc))
+        if kernel == "spttv":
+            tensor: Tensor = args[0]
+            return _to_sim(
+                "CTF",
+                ctf_mod.spttv(None, tensor.shape, tensor.nnz, args[1], cc),
+            )
+        if kernel == "spmttkrp":
+            tensor = args[0]
+            l = args[1].shape[1]
+            # CTF's processor-grid decomposition splits hot slices across
+            # ranks, so the special MTTKRP kernel is essentially balanced.
+            return _to_sim(
+                "CTF",
+                ctf_mod.spmttkrp(tensor.shape, tensor.nnz, l, cc),
+            )
+    except OOMError:
+        return SimResult("CTF", float("inf"), oom=True)
+    return SimResult("CTF", float("inf"), oom=True)
+
+
+def _slice_weights(tensor: Tensor, ranks: int) -> np.ndarray:
+    """Per-rank work shares under CTF's *cyclic* slice decomposition.
+
+    Cyclic layouts scatter hub slices across ranks (that is the point of
+    Cyclops), so skew only bites when single slices exceed the mean load.
+    """
+    n0 = tensor.shape[0]
+    coords, _ = tensor.to_coo()
+    counts = np.bincount(coords[0], minlength=n0).astype(float)
+    per = np.array([counts[r::ranks].sum() for r in range(ranks)])
+    total = max(per.sum(), 1.0)
+    return per / total

@@ -1,0 +1,84 @@
+"""The scaled machine model that maps laptop-scale runs to Lassen-scale shape.
+
+The suite datasets are ~3e-5 of the paper's (Table II) sizes.  To preserve
+the paper's compute/communication balance — which is what determines who
+wins, by how much, and where crossovers fall — every *data-proportional*
+rate (flop/s, memory bandwidth, network bandwidth, memory capacity) is
+scaled by the same factor, while *per-event* costs (message latency, task
+launch overhead, synchronization) stay at their Lassen values:
+
+* per-node kernel times land in the paper's millisecond range;
+* data-proportional communication (redistributions, replication, halos
+  that grow with non-zeros) keeps its paper-relative cost;
+* latency-bound effects (many tiny tasks, deep reductions) keep their
+  paper-relative cost.
+
+``RATE_SCALE`` is the single knob; everything else derives from it.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..legion.machine import Machine, NodeSpec
+from ..legion.network import Network
+
+__all__ = ["RATE_SCALE", "BenchConfig", "default_config"]
+
+RATE_SCALE = 3.0e-5
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Machine + network parameters for one benchmark campaign."""
+
+    rate_scale: float = RATE_SCALE
+    dataset_scale: float = 0.5  # suite scale factor passed to the generators
+    seed: int = 7
+
+    @property
+    def node(self) -> NodeSpec:
+        s = self.rate_scale
+        base = NodeSpec()
+        return NodeSpec(
+            cores=base.cores,
+            sockets=base.sockets,
+            gpus=base.gpus,
+            dram_bytes=base.dram_bytes * s,
+            gpu_mem_bytes=base.gpu_mem_bytes * s,
+            core_flops=base.core_flops * s,
+            core_membw=base.core_membw * s,
+            gpu_flops=base.gpu_flops * s,
+            gpu_membw=base.gpu_membw * s,
+        )
+
+    def legion_network(self) -> Network:
+        s = self.rate_scale
+        base = Network.legion()
+        return Network(
+            alpha=base.alpha,
+            inter_node_bw=base.inter_node_bw * s,
+            intra_node_bw=base.intra_node_bw * s,
+            task_overhead=base.task_overhead,
+            sync_overhead=base.sync_overhead,
+        )
+
+    def mpi_network(self, ranks: int) -> Network:
+        s = self.rate_scale
+        base = Network.mpi(ranks)
+        return Network(
+            alpha=base.alpha,
+            inter_node_bw=base.inter_node_bw * s,
+            intra_node_bw=base.intra_node_bw * s,
+            task_overhead=base.task_overhead,
+            sync_overhead=base.sync_overhead,
+        )
+
+    def cpu_machine(self, nodes: int) -> Machine:
+        return Machine.cpu(nodes, self.node)
+
+    def gpu_machine(self, gpus: int) -> Machine:
+        return Machine.gpu(gpus, self.node)
+
+
+def default_config(**overrides) -> BenchConfig:
+    return BenchConfig(**overrides)

@@ -1,0 +1,63 @@
+"""Text rendering of the paper's tables, speedup plots and heatmaps."""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_scaling", "format_heatmap", "geomean"]
+
+
+def geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if np.isfinite(v) and v > 0]
+    if not vals:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(vals))))
+
+
+def format_table(headers: List[str], rows: List[Sequence], title: str = "") -> str:
+    cols = [
+        max(len(str(headers[c])), max((len(str(r[c])) for r in rows), default=0))
+        for c in range(len(headers))
+    ]
+    def fmt_row(row):
+        return "  ".join(str(v).ljust(w) for v, w in zip(row, cols))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in cols))
+    lines.extend(fmt_row(r) for r in rows)
+    return "\n".join(lines)
+
+
+def format_scaling(
+    title: str,
+    node_counts: Sequence[int],
+    series: Dict[str, List[float]],
+    *,
+    ylabel: str = "speedup over SpDISTAL 1 node",
+) -> str:
+    """A Fig. 10-style speedup table: one row per system, one col per scale."""
+    headers = ["system"] + [str(n) for n in node_counts]
+    rows = []
+    for name, vals in series.items():
+        rows.append([name] + [
+            ("DNC" if not np.isfinite(v) else f"{v:.3g}") for v in vals
+        ])
+    rows.append(["Ideal"] + [str(n) for n in node_counts])
+    return format_table(headers, rows, title=f"{title}  ({ylabel})")
+
+
+def format_heatmap(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cells: Dict[tuple, str],
+) -> str:
+    """A Fig. 11-style fastest-system heatmap (text cells, DNC included)."""
+    headers = ["tensor \\ gpus"] + [str(c) for c in col_labels]
+    rows = []
+    for r in row_labels:
+        rows.append([r] + [cells.get((r, c), "-") for c in col_labels])
+    return format_table(headers, rows, title=title)

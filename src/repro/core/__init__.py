@@ -1,0 +1,41 @@
+"""SpDISTAL core: compiling distributed sparse tensor computations.
+
+The paper's contribution: format abstractions for sparse tensor
+partitioning (Table I), the coordinate-tree partitioning algorithm
+(§IV-A), the code generation algorithm (Fig. 9a) and sparse output
+assembly (§V-B).
+"""
+from .plan import PartitioningPlan, PlanStmt
+from .levels import (
+    CompressedLevelFunctions,
+    DenseLevelFunctions,
+    LevelFunctions,
+    level_functions_for,
+    shrink_dense_partition,
+)
+from .partitioner import (
+    TensorPartition,
+    partition_dense_tensor,
+    partition_tensor,
+    replicated_partition,
+)
+from .assembly import adopt_pattern, install_assembled_output, pattern_source, scan_counts
+from .compiler import (
+    CompiledKernel,
+    ExecutionResult,
+    KernelClass,
+    Piece,
+    classify,
+    compile_kernel,
+)
+
+__all__ = [
+    "PartitioningPlan", "PlanStmt",
+    "CompressedLevelFunctions", "DenseLevelFunctions", "LevelFunctions",
+    "level_functions_for", "shrink_dense_partition",
+    "TensorPartition", "partition_dense_tensor", "partition_tensor",
+    "replicated_partition",
+    "adopt_pattern", "install_assembled_output", "pattern_source", "scan_counts",
+    "CompiledKernel", "ExecutionResult", "KernelClass", "Piece",
+    "classify", "compile_kernel",
+]

@@ -1,0 +1,861 @@
+"""The SpDISTAL compiler: scheduled TIN statements → distributed kernels.
+
+``compile_kernel`` implements the code generation algorithm of the paper's
+Fig. 9a.  For each distributed index variable it
+
+1. creates initial level partitions of the accessed tensors — universe
+   partitions for coordinate-value iteration, non-zero partitions for
+   coordinate-position iteration (``createInitialUniversePartitions`` /
+   ``createInitialNonZeroPartition``),
+2. derives full coordinate-tree partitions (``partitionCoordinateTrees`` /
+   ``partitionNonZeroCoordinateTree``), and for the non-zero case partitions
+   the remaining tensors from the split tensor's top-level partition
+   (``partitionRemainingCoordinateTrees``),
+3. emits a distributed loop passing each piece its sub-regions
+   (``emitDistributedForLoop``) — realized as a Legion index launch whose
+   leaf is selected from ``repro.kernels`` by matching the scheduled
+   statement.
+
+The result is a :class:`CompiledKernel` that can be executed repeatedly on a
+:class:`~repro.legion.runtime.Runtime`, producing both the numerical result
+and the simulated distributed execution metrics.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CompileError
+from ..legion.machine import Machine, Work
+from ..legion.metrics import CommEvent, ExecutionMetrics
+from ..legion.partition import Partition
+from ..legion.runtime import Privilege, RegionReq, Runtime
+from ..taco.expr import Access, Add, Assignment, Mul
+from ..taco.index_vars import IndexVar
+from ..taco.reference import var_sizes
+from ..taco.schedule import ParallelUnit, Schedule
+from ..taco.tensor import CompressedLevel, Tensor
+from .. import kernels as K
+from .assembly import adopt_pattern, install_assembled_output, pattern_source
+from .partitioner import (
+    TensorPartition,
+    partition_dense_tensor,
+    partition_tensor,
+    replicated_partition,
+)
+from .plan import PartitioningPlan
+
+__all__ = ["KernelClass", "classify", "Piece", "CompiledKernel", "compile_kernel", "ExecutionResult"]
+
+Bounds = Tuple[int, int]
+Color = Hashable
+
+
+# --------------------------------------------------------------------------- #
+# kernel classification
+# --------------------------------------------------------------------------- #
+@dataclass
+class KernelClass:
+    kind: str
+    roles: Dict[str, Access] = field(default_factory=dict)
+    operands: List[Access] = field(default_factory=list)  # spadd only
+
+
+def classify(asg: Assignment) -> KernelClass:
+    """Match the statement against the specialized kernel patterns."""
+    lhs, rhs = asg.lhs, asg.rhs
+    if isinstance(rhs, Add):
+        ops = list(rhs.operands)
+        if len(ops) >= 2 and all(
+            isinstance(o, Access) and o.indices == lhs.indices for o in ops
+        ) and not lhs.tensor.format.is_all_dense():
+            return KernelClass("spadd", operands=ops)
+    operands = list(rhs.operands) if isinstance(rhs, Mul) else [rhs]
+    if not all(isinstance(o, Access) for o in operands):
+        return KernelClass("generic")
+    sparse = [o for o in operands if o.tensor.format.has_compressed()]
+    dense = [o for o in operands if not o.tensor.format.has_compressed()]
+    if len(sparse) != 1:
+        return KernelClass("generic")
+    B = sparse[0]
+    bi = B.indices
+    if B.tensor.order == 2 and len(dense) == 1 and len(operands) == 2:
+        d = dense[0]
+        if d.tensor.order == 1 and lhs.indices == (bi[0],) and d.indices == (bi[1],):
+            return KernelClass("spmv", {"B": B, "c": d})
+        if (
+            d.tensor.order == 2
+            and len(lhs.indices) == 2
+            and lhs.indices[0] == bi[0]
+            and d.indices == (bi[1], lhs.indices[1])
+            and lhs.tensor.format.is_all_dense()
+        ):
+            return KernelClass("spmm", {"B": B, "C": d})
+    if (
+        B.tensor.order == 2
+        and len(dense) == 2
+        and lhs.indices == bi
+        and not lhs.tensor.format.is_all_dense()
+    ):
+        C = next((d for d in dense if d.indices and d.indices[0] == bi[0]), None)
+        D = next((d for d in dense if d.indices and d.indices[-1] == bi[1]), None)
+        if C is not None and D is not None and C is not D and C.indices[1] == D.indices[0]:
+            return KernelClass("sddmm", {"B": B, "C": C, "D": D})
+    if B.tensor.order == 3 and len(dense) == 1 and dense[0].tensor.order == 1:
+        if tuple(lhs.indices) == tuple(bi[:2]) and dense[0].indices == (bi[2],):
+            return KernelClass("spttv", {"B": B, "c": dense[0]})
+    if (
+        B.tensor.order == 3
+        and len(dense) == 2
+        and all(d.tensor.order == 2 for d in dense)
+        and len(lhs.indices) == 2
+        and lhs.indices[0] == bi[0]
+    ):
+        l = lhs.indices[1]
+        C = next((d for d in dense if d.indices == (bi[1], l)), None)
+        D = next((d for d in dense if d.indices == (bi[2], l)), None)
+        if C is not None and D is not None:
+            return KernelClass("spmttkrp", {"B": B, "C": C, "D": D})
+    return KernelClass("generic")
+
+
+# --------------------------------------------------------------------------- #
+# distribution spec
+# --------------------------------------------------------------------------- #
+@dataclass
+class Piece:
+    """One point of the distributed launch domain."""
+
+    color: Color
+    proc: int
+    var_bounds: Dict[IndexVar, Bounds]
+    rows: Bounds  # top-level coordinate bounds of this piece
+    pos: Optional[Bounds] = None  # non-zero position bounds (non-zero strategy)
+    cols: Optional[Bounds] = None  # secondary universe bounds (batched SpMM)
+
+
+def _chunk_bounds(extent: int, pieces: int) -> List[Bounds]:
+    return [K.piece_range(extent, pieces, c) for c in range(pieces)]
+
+
+@dataclass
+class ExecutionResult:
+    output: Tensor
+    metrics: ExecutionMetrics
+    simulated_seconds: float
+    plan: PartitioningPlan
+
+
+class CompiledKernel:
+    """A compiled distributed sparse tensor kernel."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        machine: Machine,
+        kind: str,
+        strategy: str,
+        pieces: List[Piece],
+        parts: Dict[int, TensorPartition],
+        privileges: Dict[int, Privilege],
+        plan: PartitioningPlan,
+        roles: Dict[str, Access],
+        operands: List[Access],
+    ):
+        self.schedule = schedule
+        self.machine = machine
+        self.kind = kind
+        self.strategy = strategy
+        self.pieces = pieces
+        self.parts = parts
+        self.privileges = privileges
+        self.plan = plan
+        self.roles = roles
+        self.operands = operands
+        self.out = schedule.assignment.lhs.tensor
+        self._runtime: Optional[Runtime] = None
+        self._leaf: Optional[Callable[[Piece], Work]] = None
+        self._streamed: set = set()
+
+    def stream_tensor(self, tensor: Tensor) -> None:
+        """Communicate this tensor's sub-regions in memory-sized rounds
+        instead of keeping them resident (the "SpDISTAL-Batched" strategy)."""
+        self._streamed.add(id(tensor))
+
+    # -- data placement -----------------------------------------------------
+    def _ensure_runtime(self, runtime: Optional[Runtime]) -> Runtime:
+        if runtime is not None:
+            if runtime is not self._runtime:
+                self._runtime = runtime
+                self._place(runtime)
+            return runtime
+        if self._runtime is None:
+            self._runtime = Runtime(self.machine)
+            self._place(self._runtime)
+        return self._runtime
+
+    def _place(self, rt: Runtime) -> None:
+        """Distribute every tensor according to its (computed) partition.
+
+        Matches the paper's experiments where the declared data distribution
+        matches the computation distribution; mismatched TDN placements are
+        applied by ``repro.distal`` before execution instead.
+        """
+        placed = set()
+        for t_id, part in self.parts.items():
+            tensor = part.tensor
+            if id(tensor) in placed:
+                continue
+            placed.add(id(tensor))
+            if getattr(tensor, "_placed_by_tdn", False):
+                continue
+            if id(tensor) in self._streamed:
+                for req in part.region_reqs(Privilege.READ_ONLY):
+                    rt.place_on(req.region, 0)
+                continue
+            for req in part.region_reqs(Privilege.READ_ONLY):
+                if req.partition is None:
+                    rt.place_replicated(req.region)
+                else:
+                    rt.place(req.region, req.partition, self._proc_of_color)
+        rt.invalidate_caches()
+
+    def _proc_of_color(self, color: Color) -> int:
+        if isinstance(color, tuple):
+            idx = 0
+            dims = self._color_dims
+            for c, d in zip(color, dims):
+                idx = idx * d + int(c)
+            return idx % self.machine.size
+        return int(color) % self.machine.size
+
+    @property
+    def _color_dims(self) -> Tuple[int, ...]:
+        first = self.pieces[0].color
+        if isinstance(first, tuple):
+            dims = []
+            for d in range(len(first)):
+                dims.append(max(p.color[d] for p in self.pieces) + 1)
+            return tuple(dims)
+        return (len(self.pieces),)
+
+    # -- region requirements --------------------------------------------------
+    def _reqs(self) -> List[RegionReq]:
+        reqs: List[RegionReq] = []
+        for t_id, part in self.parts.items():
+            priv = self.privileges.get(t_id, Privilege.READ_ONLY)
+            for req in part.region_reqs(priv):
+                if t_id in self._streamed:
+                    req.streamed = True
+                reqs.append(req)
+        return reqs
+
+    # -- execution ---------------------------------------------------------------
+    def execute(
+        self, runtime: Optional[Runtime] = None, *, fresh_trial: bool = True
+    ) -> ExecutionResult:
+        """Run the kernel once; returns the output and this trial's metrics."""
+        rt = self._ensure_runtime(runtime)
+        if fresh_trial:
+            rt.invalidate_caches()
+        before = len(rt.metrics.steps)
+        if self.kind == "spadd":
+            self._execute_spadd(rt)
+        else:
+            self._execute_compute(rt)
+        new_steps = rt.metrics.steps[before:]
+        trial = ExecutionMetrics(steps=list(new_steps))
+        return ExecutionResult(
+            output=self.out,
+            metrics=trial,
+            simulated_seconds=trial.simulated_seconds(rt.network),
+            plan=self.plan,
+        )
+
+    def _execute_compute(self, rt: Runtime) -> None:
+        if self._leaf is None:
+            self._leaf = _build_leaf(self)
+        if self._needs_zero():
+            self.out.vals.fill(0.0)
+        by_color = {p.color: p for p in self.pieces}
+        rt.index_launch(
+            f"{self.kind}:{self.strategy}",
+            [p.color for p in self.pieces],
+            lambda color: self._leaf(by_color[color]),
+            self._reqs(),
+            proc_map=self._proc_of_color,
+        )
+
+    def _needs_zero(self) -> bool:
+        if self.privileges.get(id(self.out)) == Privilege.REDUCE:
+            return True
+        return self.strategy == "nonzeros" and self.kind in (
+            "spmv", "spmm", "spttv", "spmttkrp", "generic",
+        )
+
+    # -- SpAdd: two-phase assembly (paper §V-B) --------------------------------
+    def _execute_spadd(self, rt: Runtime) -> None:
+        out = self.out
+        nrows, ncols = out.shape
+        ops_meta = [
+            (o.tensor.levels[1].pos.data, o.tensor.levels[1].crd.data)
+            for o in self.operands
+        ]
+        counts = np.zeros(nrows, dtype=np.int64)
+        meta_reqs = [
+            req
+            for o in self.operands
+            for req in self.parts[id(o.tensor)].region_reqs(Privilege.READ_ONLY)
+        ]
+        by_color = {p.color: p for p in self.pieces}
+
+        def symbolic(color):
+            p = by_color[color]
+            r0, r1 = p.rows
+            piece_counts, work = K.spadd3_symbolic(ops_meta, ncols, r0, r1)
+            if r1 >= r0:
+                counts[r0 : r1 + 1] = piece_counts
+            return work
+
+        rt.index_launch(
+            "spadd:symbolic",
+            [p.color for p in self.pieces],
+            symbolic,
+            meta_reqs,
+            proc_map=self._proc_of_color,
+        )
+
+        # Scan: counts travel to the launching node; scanned pos scatters back.
+        scan = rt.metrics.new_step("spadd:scan")
+        for p in self.pieces:
+            r0, r1 = p.rows
+            n = max(0, r1 - r0 + 1)
+            if p.proc != 0 and n:
+                scan.comm_events.append(
+                    CommEvent(p.proc, 0, n * 8.0, rt.machine.same_node(p.proc, 0), "counts")
+                )
+                scan.comm_events.append(
+                    CommEvent(0, p.proc, n * 16.0, rt.machine.same_node(0, p.proc), "pos")
+                )
+        out_pos, out_crd, out_vals = install_assembled_output(out, counts, ncols)
+
+        ops_full = [
+            (o.tensor.levels[1].pos.data, o.tensor.levels[1].crd.data, o.tensor.vals.data)
+            for o in self.operands
+        ]
+        fill_reqs = [
+            req
+            for o in self.operands
+            for req in self.parts[id(o.tensor)].region_reqs(Privilege.READ_ONLY)
+        ]
+
+        def fill(color):
+            p = by_color[color]
+            r0, r1 = p.rows
+            return K.spadd3_fill(ops_full, ncols, out_pos, out_crd, out_vals, r0, r1)
+
+        rt.index_launch(
+            "spadd:fill",
+            [p.color for p in self.pieces],
+            fill,
+            fill_reqs,
+            proc_map=self._proc_of_color,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# compilation
+# --------------------------------------------------------------------------- #
+def compile_kernel(schedule: Schedule, machine: Optional[Machine] = None) -> CompiledKernel:
+    """Compile a scheduled statement for a machine (Fig. 9a)."""
+    if machine is None:
+        machine = Machine.cpu(1)
+    asg = schedule.assignment
+    sizes = var_sizes(asg)
+    kc = classify(asg)
+    plan = PartitioningPlan(f"{kc.kind}")
+
+    dvars = list(schedule.distributed)
+    nonzero_vars = [v for v in dvars if schedule.is_position_var(v)]
+    if len(nonzero_vars) > 1:
+        raise CompileError("at most one non-zero distributed variable is supported")
+
+    if not dvars:
+        return _compile_single(schedule, machine, kc, plan, sizes)
+    if nonzero_vars:
+        if len(dvars) != 1:
+            raise CompileError("non-zero distribution cannot be combined with others")
+        return _compile_nonzero(schedule, machine, kc, plan, sizes, dvars[0])
+    return _compile_universe(schedule, machine, kc, plan, sizes, dvars)
+
+
+def _unique_tensors(asg: Assignment) -> List[Tuple[Tensor, Access]]:
+    seen, out = set(), []
+    for acc in asg.accesses():
+        if id(acc.tensor) not in seen:
+            seen.add(id(acc.tensor))
+            out.append((acc.tensor, acc))
+    return out
+
+
+def _prepare_output(kc: KernelClass, asg: Assignment) -> None:
+    out = asg.lhs.tensor
+    src = pattern_source(asg)
+    if src is not None and kc.kind in ("sddmm", "spttv", "generic"):
+        if not out.format.is_all_dense():
+            adopt_pattern(out, src.tensor, keep_levels=len(asg.lhs.indices))
+            plan_note = True  # structure copied; leaves write values only
+
+
+def _compile_single(schedule, machine, kc, plan, sizes) -> CompiledKernel:
+    """No distributed loops: one piece covering the whole iteration space."""
+    asg = schedule.assignment
+    _prepare_output(kc, asg)
+    parts: Dict[int, TensorPartition] = {}
+    privileges: Dict[int, Privilege] = {}
+    for tensor, acc in _unique_tensors(asg):
+        parts[id(tensor)] = replicated_partition(tensor, [0])
+        privileges[id(tensor)] = (
+            Privilege.READ_WRITE if tensor is asg.lhs.tensor else Privilege.READ_ONLY
+        )
+    n0 = asg.lhs.tensor.shape[0] if asg.lhs.tensor.shape else 1
+    kind_rows = (0, n0 - 1)
+    sparse_in = kc.roles.get("B")
+    pos_bounds = None
+    if sparse_in is not None:
+        last = sparse_in.tensor.levels[-1]
+        pos_bounds = (0, last.num_positions - 1)
+    pieces = [Piece(color=0, proc=0, var_bounds={}, rows=kind_rows, pos=pos_bounds)]
+    plan.emit("single", "// single-piece execution (no distributed loops)")
+    return CompiledKernel(
+        schedule, machine, kc.kind, "rows", pieces, parts, privileges, plan,
+        kc.roles, kc.operands,
+    )
+
+
+def _compile_universe(schedule, machine, kc, plan, sizes, dvars) -> CompiledKernel:
+    """createInitialUniversePartitions + partitionCoordinateTrees."""
+    asg = schedule.assignment
+    _prepare_output(kc, asg)
+
+    infos = []  # (dvar, underlying var, pieces, chunk bounds)
+    for d in dvars:
+        unders = schedule.underlying_vars(d)
+        if len(unders) != 1:
+            raise CompileError(
+                "universe distribution of fused variables is not supported; "
+                "use a non-zero partition (tilde) for fused dimensions"
+            )
+        u = unders[0]
+        p = schedule.pieces_of(d)
+        infos.append((d, u, p, _chunk_bounds(sizes[u], p)))
+
+    multi = len(infos) > 1
+    if multi:
+        grid = [p for (_, _, p, _) in infos]
+        colors: List[Color] = [tuple(c) for c in np.ndindex(*grid)]
+    else:
+        colors = list(range(infos[0][2]))
+
+    def bounds_of(color: Color, k: int) -> Bounds:
+        comp = color[k] if multi else color
+        return infos[k][3][comp]
+
+    parts: Dict[int, TensorPartition] = {}
+    privileges: Dict[int, Privilege] = {}
+    primary_u = infos[0][1]
+    primary_sparse: Optional[TensorPartition] = None
+    for tensor, acc in _unique_tensors(asg):
+        matched = {}
+        for k, (d, u, p, chunks) in enumerate(infos):
+            if u in acc.indices:
+                matched[k] = acc.indices.index(u)
+        is_out = tensor is asg.lhs.tensor
+        if tensor.format.is_all_dense():
+            mode_bounds = {
+                c: {matched[k]: bounds_of(c, k) for k in matched} for c in colors
+            }
+            if not matched and not is_out:
+                windows = _inferred_windows(asg, acc, parts, colors)
+                if windows is not None:
+                    mode_bounds = windows
+                    plan.emit(
+                        "image",
+                        f"// {tensor.name} windows inferred from crd images",
+                        tensor=tensor.name,
+                    )
+            parts[id(tensor)] = partition_dense_tensor(tensor, mode_bounds, plan)
+        elif matched:
+            sparse_ks = list(matched.keys())
+            if len(sparse_ks) > 1:
+                raise CompileError(
+                    f"sparse tensor {tensor.name} partitioned by multiple "
+                    "universe variables is not supported"
+                )
+            k = sparse_ks[0]
+            mode = matched[k]
+            level = tensor.format.level_of_mode(mode)
+            bounds = {c: bounds_of(c, k) for c in colors}
+            parts[id(tensor)] = partition_tensor(tensor, level, "universe", bounds, plan)
+        else:
+            parts[id(tensor)] = replicated_partition(tensor, colors)
+            plan.emit("replicate", f"// {tensor.name} replicated onto all pieces",
+                      tensor=tensor.name)
+        if is_out:
+            part = parts[id(tensor)]
+            if part.replicated or part.is_output_aliased():
+                privileges[id(tensor)] = Privilege.REDUCE
+            else:
+                privileges[id(tensor)] = Privilege.WRITE_DISCARD
+        else:
+            privileges[id(tensor)] = Privilege.READ_ONLY
+
+    pieces = []
+    for i, c in enumerate(colors):
+        var_bounds = {infos[k][0]: bounds_of(c, k) for k in range(len(infos))}
+        rows = bounds_of(c, 0)
+        cols = bounds_of(c, 1) if multi else None
+        pieces.append(
+            Piece(color=c, proc=_linear(c, infos) % machine.size,
+                  var_bounds=var_bounds, rows=rows, cols=cols)
+        )
+    plan.emit("launch", f"distributed for io in {{0 ... {len(colors)}}} {{ ... }}")
+    return CompiledKernel(
+        schedule, machine, kc.kind, "rows", pieces, parts, privileges, plan,
+        kc.roles, kc.operands,
+    )
+
+
+def _inferred_windows(
+    asg: Assignment,
+    acc: Access,
+    parts: Dict[int, TensorPartition],
+    colors: Sequence[Color],
+) -> Optional[Dict[Color, Dict[int, Bounds]]]:
+    """Infer per-piece windows of an unpartitioned dense operand.
+
+    DISTAL's ``communicate`` infers *what data to communicate* (paper
+    §II-C): a dense operand indexed by a variable that names a Compressed
+    level of an already-partitioned sparse tensor only needs the coordinate
+    range its piece's ``crd`` values actually touch — e.g. the halo window
+    of the SpMV vector on a banded matrix.  Returns None when no indexing
+    variable can be related to a partitioned compressed level.
+    """
+    windows: Dict[Color, Dict[int, Bounds]] = {c: {} for c in colors}
+    found = False
+    for mode, var in enumerate(acc.indices):
+        for other in asg.accesses():
+            part = parts.get(id(other.tensor))
+            if part is None or other.tensor.format.is_all_dense() or part.replicated:
+                continue
+            if var not in other.indices:
+                continue
+            level = other.tensor.format.level_of_mode(other.indices.index(var))
+            lvl = other.tensor.levels[level]
+            if lvl.is_dense or part.level_positions[level] is None:
+                continue
+            crd = lvl.crd.data
+            for c in colors:
+                subset = part.level_positions[level][c]
+                if subset.empty:
+                    windows[c][mode] = (0, -1)
+                    continue
+                vals = crd[subset.indices()]
+                windows[c][mode] = (int(vals.min()), int(vals.max()))
+            found = True
+            break
+    return windows if found else None
+
+
+def _linear(color: Color, infos) -> int:
+    if not isinstance(color, tuple):
+        return int(color)
+    idx = 0
+    for c, (_, _, p, _) in zip(color, infos):
+        idx = idx * p + int(c)
+    return idx
+
+
+def _compile_nonzero(schedule, machine, kc, plan, sizes, dvar) -> CompiledKernel:
+    """createInitialNonZeroPartition + partitionNonZeroCoordinateTree +
+    partitionRemainingCoordinateTrees (Fig. 9a, else branch)."""
+    asg = schedule.assignment
+    _prepare_output(kc, asg)
+    pos_rel = schedule.pos_relation_of(dvar)
+    split_acc = pos_rel.access
+    split_tensor = split_acc.tensor
+    unders = schedule.underlying_vars(dvar)
+    split_level = max(
+        split_tensor.format.level_of_mode(split_acc.indices.index(u))
+        for u in unders
+        if u in split_acc.indices
+    )
+    npieces = schedule.pieces_of(dvar)
+    npos = split_tensor.levels[split_level].num_positions
+    chunks = _chunk_bounds(npos, npieces)
+    colors = list(range(npieces))
+    bounds = {c: chunks[c] for c in colors}
+
+    parts: Dict[int, TensorPartition] = {}
+    privileges: Dict[int, Privilege] = {}
+    split_part = partition_tensor(split_tensor, split_level, "nonzero", bounds, plan)
+    parts[id(split_tensor)] = split_part
+    top_bounds = split_part.top_level_bounds()
+
+    # Which underlying variable names the split tensor's root level?
+    top_u = None
+    for u in unders:
+        if u in split_acc.indices and split_tensor.format.level_of_mode(
+            split_acc.indices.index(u)
+        ) == 0:
+            top_u = u
+
+    for tensor, acc in _unique_tensors(asg):
+        if id(tensor) in parts:
+            continue
+        is_out = tensor is asg.lhs.tensor
+        shares_pattern = (
+            is_out
+            and not tensor.format.is_all_dense()
+            and tensor.levels
+            and tensor.levels[-1] is split_tensor.levels[len(tensor.levels) - 1]
+        )
+        if shares_pattern:
+            lvl = len(tensor.levels) - 1
+            src = split_part.level_positions[lvl]
+            parts[id(tensor)] = TensorPartition(
+                tensor,
+                level_positions=list(split_part.level_positions[: lvl + 1]),
+                level_pos_parts=list(split_part.level_pos_parts[: lvl + 1]),
+                vals_part=Partition(tensor.vals.ispace, dict(src.subsets),
+                                    name=f"{tensor.name}ValsPart"),
+                colors=colors,
+            )
+            plan.emit("copy", f"// {tensor.name} adopts {split_tensor.name}'s partition",
+                      tensor=tensor.name)
+        elif top_u is not None and top_u in acc.indices:
+            mode = acc.indices.index(top_u)
+            if tensor.format.is_all_dense():
+                mode_bounds = {c: {mode: top_bounds[c]} for c in colors}
+                parts[id(tensor)] = partition_dense_tensor(tensor, mode_bounds, plan)
+            else:
+                level = tensor.format.level_of_mode(mode)
+                parts[id(tensor)] = partition_tensor(
+                    tensor, level, "universe", top_bounds, plan
+                )
+        elif tensor.format.is_all_dense() and not is_out:
+            windows = _inferred_windows(asg, acc, parts, colors)
+            if windows is not None:
+                plan.emit("image", f"// {tensor.name} windows inferred from crd images",
+                          tensor=tensor.name)
+                parts[id(tensor)] = partition_dense_tensor(tensor, windows, plan)
+            else:
+                parts[id(tensor)] = replicated_partition(tensor, colors)
+                plan.emit("replicate", f"// {tensor.name} replicated onto all pieces",
+                          tensor=tensor.name)
+        else:
+            parts[id(tensor)] = replicated_partition(tensor, colors)
+            plan.emit("replicate", f"// {tensor.name} replicated onto all pieces",
+                      tensor=tensor.name)
+        if is_out:
+            part = parts[id(tensor)]
+            if part.replicated or part.is_output_aliased():
+                privileges[id(tensor)] = Privilege.REDUCE
+            else:
+                privileges[id(tensor)] = Privilege.WRITE_DISCARD
+        else:
+            privileges[id(tensor)] = Privilege.READ_ONLY
+
+    pieces = []
+    for c in colors:
+        pieces.append(
+            Piece(
+                color=c,
+                proc=c % machine.size,
+                var_bounds={dvar: bounds[c]},
+                rows=top_bounds[c],
+                pos=bounds[c],
+            )
+        )
+    plan.emit("launch", f"distributed for fo in {{0 ... {npieces}}} {{ ... }}")
+    return CompiledKernel(
+        schedule, machine, kc.kind, "nonzeros", pieces, parts, privileges, plan,
+        kc.roles, kc.operands,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# leaf selection
+# --------------------------------------------------------------------------- #
+def _build_leaf(ck: CompiledKernel) -> Callable[[Piece], Work]:
+    kind, strategy = ck.kind, ck.strategy
+    asg = ck.schedule.assignment
+    out = ck.out
+    if kind == "spmv":
+        B = ck.roles["B"].tensor
+        c = ck.roles["c"].tensor.dense_array()
+        pos, crd, vals = B.csr_arrays()
+        o = out.vals.data
+        if strategy == "nonzeros":
+            return lambda p: K.spmv_nonzeros(pos, crd, vals, c, o, p.pos[0], p.pos[1])
+        return lambda p: K.spmv_rows(pos, crd, vals, c, o, p.rows[0], p.rows[1])
+    if kind == "spmm":
+        B = ck.roles["B"].tensor
+        C = ck.roles["C"].tensor.dense_array()
+        pos, crd, vals = B.csr_arrays()
+        o = out.dense_array()
+        if strategy == "nonzeros":
+            return lambda p: K.spmm_nonzeros(pos, crd, vals, C, o, p.pos[0], p.pos[1])
+
+        def spmm_piece(p: Piece) -> Work:
+            if p.cols is not None:
+                c0, c1 = p.cols
+                return K.spmm_rows(
+                    pos, crd, vals, C[:, c0 : c1 + 1], o[:, c0 : c1 + 1],
+                    p.rows[0], p.rows[1],
+                )
+            return K.spmm_rows(pos, crd, vals, C, o, p.rows[0], p.rows[1])
+
+        return spmm_piece
+    if kind == "sddmm":
+        B = ck.roles["B"].tensor
+        C = ck.roles["C"].tensor.dense_array()
+        D = ck.roles["D"].tensor.dense_array()
+        pos, crd, vals = B.csr_arrays()
+        ov = out.vals.data
+        if strategy == "nonzeros":
+            return lambda p: K.sddmm_nonzeros(pos, crd, vals, C, D, ov, p.pos[0], p.pos[1])
+        return lambda p: K.sddmm_rows(pos, crd, vals, C, D, ov, p.rows[0], p.rows[1])
+    if kind == "spttv":
+        return _build_spttv_leaf(ck)
+    if kind == "spmttkrp":
+        return _build_spmttkrp_leaf(ck)
+    if kind == "generic":
+        return _build_generic_leaf(ck)
+    raise CompileError(f"no leaf kernel for {kind}/{strategy}")
+
+
+def _fiber_arrays(B: Tensor):
+    """(pos2, crd2, fiber-range-of-rows fn) for CSF3 or DDC 3-tensors."""
+    lvl2 = B.levels[2]
+    if not isinstance(lvl2, CompressedLevel):
+        raise CompileError("3-tensor kernels need a compressed last level")
+    pos2, crd2 = lvl2.pos.data, lvl2.crd.data
+    lvl1 = B.levels[1]
+    if isinstance(lvl1, CompressedLevel):
+        pos1 = lvl1.pos.data
+
+        def fibers_of_rows(r0: int, r1: int) -> Bounds:
+            return int(pos1[r0, 0]), int(pos1[r1, 1])
+
+    else:
+        n1 = lvl1.size
+
+        def fibers_of_rows(r0: int, r1: int) -> Bounds:
+            return r0 * n1, (r1 + 1) * n1 - 1
+
+    return pos2, crd2, fibers_of_rows
+
+
+def _build_spttv_leaf(ck: CompiledKernel) -> Callable[[Piece], Work]:
+    B = ck.roles["B"].tensor
+    c = ck.roles["c"].tensor.dense_array()
+    pos2, crd2, fibers_of_rows = _fiber_arrays(B)
+    vals = B.vals.data
+    ov = ck.out.vals.data.reshape(-1)
+    if ck.strategy == "nonzeros":
+        return lambda p: K.spttv_nonzeros(pos2, crd2, vals, c, ov, p.pos[0], p.pos[1])
+
+    def rows_piece(p: Piece) -> Work:
+        if p.rows[1] < p.rows[0]:
+            return Work.zero()
+        f0, f1 = fibers_of_rows(p.rows[0], p.rows[1])
+        return K.spttv_fibers(pos2, crd2, vals, c, ov, f0, f1)
+
+    return rows_piece
+
+
+def _build_spmttkrp_leaf(ck: CompiledKernel) -> Callable[[Piece], Work]:
+    B = ck.roles["B"].tensor
+    C = ck.roles["C"].tensor.dense_array()
+    D = ck.roles["D"].tensor.dense_array()
+    pos2, crd2, fibers_of_rows = _fiber_arrays(B)
+    vals = B.vals.data
+    o = ck.out.dense_array()
+    lvl1 = B.levels[1]
+    csf = isinstance(lvl1, CompressedLevel)
+    if csf:
+        pos1, crd1 = lvl1.pos.data, lvl1.crd.data
+
+    def run(p0: int, p1: int, accumulate: bool) -> Work:
+        if csf:
+            return K.spmttkrp_csf(
+                pos1, crd1, pos2, crd2, vals, C, D, o, p0, p1, accumulate=accumulate
+            )
+        return K.spmttkrp_ddc(
+            lvl1.size, pos2, crd2, vals, C, D, o, p0, p1, accumulate=accumulate
+        )
+
+    if ck.strategy == "nonzeros":
+        return lambda p: run(p.pos[0], p.pos[1], True)
+
+    def rows_piece(p: Piece) -> Work:
+        if p.rows[1] < p.rows[0]:
+            return Work.zero()
+        f0, f1 = fibers_of_rows(p.rows[0], p.rows[1])
+        if f1 < f0:
+            return Work.zero()
+        return run(int(pos2[f0, 0]), int(pos2[f1, 1]), False)
+
+    return rows_piece
+
+
+def _build_generic_leaf(ck: CompiledKernel) -> Callable[[Piece], Work]:
+    """Fallback: the generic COO engine per piece (paper: full generality)."""
+    asg = ck.schedule.assignment
+    sizes = var_sizes(asg)
+    out = ck.out
+    if not out.format.is_all_dense():
+        src = pattern_source(asg)
+        if src is None:
+            raise CompileError(
+                "generic distributed lowering requires a dense output or a "
+                "pattern-preserving statement"
+            )
+    dvars = ck.schedule.distributed
+    if dvars and ck.strategy != "rows":
+        raise CompileError(
+            "the generic engine only supports coordinate (universe) "
+            "distribution; schedule a specialized kernel for non-zero splits"
+        )
+    restrict_var = None
+    if dvars and ck.strategy == "rows":
+        unders = ck.schedule.underlying_vars(dvars[0])
+        restrict_var = unders[0]
+
+    dense_out = out.format.is_all_dense()
+    o = out.dense_array() if dense_out else None
+
+    def piece(p: Piece) -> Work:
+        restrict = {restrict_var: p.rows} if restrict_var is not None else None
+        result, work = K.evaluate_generic(asg, sizes, restrict)
+        if dense_out:
+            if result.nnz:
+                np.add.at(o, tuple(result.coords), result.vals)
+        else:
+            coords, _ = out.to_coo()
+            # pattern-preserving sparse output: scatter into stored positions
+            from .assembly import pattern_source as _ps
+
+            key_stored = np.zeros(out.nnz, dtype=np.int64)
+            key_new = np.zeros(result.nnz, dtype=np.int64)
+            for d in range(out.order):
+                key_stored = key_stored * out.shape[d] + coords[d]
+                key_new = key_new * out.shape[d] + result.coords[d]
+            idx = np.searchsorted(key_stored, key_new)
+            out.vals.data.reshape(-1)[idx] += result.vals
+        return work
+
+    return piece

@@ -1,0 +1,238 @@
+"""Coordinate-tree partitioning (paper §IV-A/§IV-C).
+
+Given an initial partition of one coordinate-tree level — universe
+(coordinate bounds) or non-zero (position bounds) per color — derive
+partitions of every level above and below it:
+
+* levels **below** the initial level via ``partitionFromParent`` (children
+  inherit their parent's color),
+* levels **above** via ``partitionFromChild`` (parents are colored with all
+  of their children's colors, so the result may alias, Fig. 8b).
+
+The result is a :class:`TensorPartition`: one positions-partition per level
+(plus the ``pos``-region partitions of compressed levels) and the values
+partition, ready to be turned into Legion region requirements.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CompileError
+from ..legion.index_space import EMPTY, Rect, RectSubset
+from ..legion.partition import Partition
+from ..legion.runtime import Privilege, RegionReq
+from ..taco.tensor import CompressedLevel, Tensor
+from .levels import LevelFunctions, level_functions_for
+from .plan import PartitioningPlan
+
+__all__ = [
+    "TensorPartition",
+    "partition_tensor",
+    "partition_dense_tensor",
+    "replicated_partition",
+]
+
+Color = Hashable
+Bounds = Tuple[int, int]
+
+
+@dataclass
+class TensorPartition:
+    """A full coordinate-tree partition of one tensor."""
+
+    tensor: Tensor
+    level_positions: List[Optional[Partition]]  # per level, positions partition
+    level_pos_parts: List[Optional[Partition]]  # per level, pos-region partition
+    vals_part: Partition
+    colors: List[Color]
+    replicated: bool = False
+
+    def region_reqs(self, privilege: Privilege) -> List[RegionReq]:
+        """Region requirements describing this tensor's per-color footprint.
+
+        Metadata (``pos``/``crd``) is always read-only; only ``vals`` takes
+        the requested privilege.
+        """
+        reqs: List[RegionReq] = []
+        if not self.replicated:
+            for lvl, positions, pos_part in zip(
+                self.tensor.levels, self.level_positions, self.level_pos_parts
+            ):
+                if isinstance(lvl, CompressedLevel):
+                    if pos_part is not None:
+                        reqs.append(RegionReq(lvl.pos, pos_part, Privilege.READ_ONLY))
+                    if positions is not None:
+                        reqs.append(RegionReq(lvl.crd, positions, Privilege.READ_ONLY))
+            reqs.append(RegionReq(self.tensor.vals, self.vals_part, privilege))
+        else:
+            for lvl in self.tensor.levels:
+                if isinstance(lvl, CompressedLevel):
+                    reqs.append(RegionReq(lvl.pos, None, Privilege.READ_ONLY))
+                    reqs.append(RegionReq(lvl.crd, None, Privilege.READ_ONLY))
+            reqs.append(RegionReq(self.tensor.vals, None, privilege))
+        return reqs
+
+    def vals_subset(self, color: Color):
+        return self.vals_part[color] if not self.replicated else self.tensor.vals.ispace.full_subset()
+
+    def is_output_aliased(self) -> bool:
+        """True when the values partition overlaps (requires reduction)."""
+        return not self.vals_part.is_disjoint()
+
+    def top_level_bounds(self) -> Dict[Color, Bounds]:
+        """Per-color [lo, hi] coordinate bounds at the root level.
+
+        Used by ``partitionRemainingCoordinateTrees`` to derive universe
+        partitions of the other tensors in the statement.
+        """
+        out: Dict[Color, Bounds] = {}
+        top = self.level_positions[0]
+        lvl0 = self.tensor.levels[0]
+        for c, s in top.items():
+            if s.empty:
+                out[c] = (0, -1)
+            elif isinstance(s, RectSubset):
+                lo, hi = s.rect.lo[0], s.rect.hi[0]
+                if not lvl0.is_dense:
+                    crd = lvl0.crd.data
+                    lo, hi = int(crd[lo]), int(crd[hi])
+                out[c] = (lo, hi)
+            else:
+                idx = s.indices()
+                lo, hi = int(idx[0]), int(idx[-1])
+                if not lvl0.is_dense:
+                    crd = lvl0.crd.data
+                    lo, hi = int(crd[lo]), int(crd[hi])
+                out[c] = (lo, hi)
+        return out
+
+    def nbytes_for(self, color: Color) -> int:
+        total = 0
+        for req in self.region_reqs(Privilege.READ_ONLY):
+            total += req.region.subset_nbytes(req.subset_for(color))
+        return total
+
+
+def partition_tensor(
+    tensor: Tensor,
+    initial_level: int,
+    kind: str,  # "universe" | "nonzero"
+    bounds: Dict[Color, Bounds],
+    plan: Optional[PartitioningPlan] = None,
+) -> TensorPartition:
+    """Run the Table I level functions to partition one tensor's tree."""
+    if plan is None:
+        plan = PartitioningPlan(f"partition_{tensor.name}")
+    if tensor.format.is_all_dense():
+        raise CompileError("use partition_dense_tensor for all-dense tensors")
+    nlevels = len(tensor.levels)
+    if not (0 <= initial_level < nlevels):
+        raise CompileError(f"initial level {initial_level} out of range")
+    funcs: List[LevelFunctions] = [
+        level_functions_for(tensor, l, plan) for l in range(nlevels)
+    ]
+    init = funcs[initial_level]
+    colors = list(bounds.keys())
+
+    if kind == "universe":
+        coloring = init.init_universe_partition()
+        for c in colors:
+            init.create_universe_partition_entry(coloring, c, bounds[c])
+        up, down = init.finalize_universe_partition(coloring)
+    elif kind == "nonzero":
+        coloring = init.init_nonzero_partition()
+        for c in colors:
+            init.create_nonzero_partition_entry(coloring, c, bounds[c])
+        up, down = init.finalize_nonzero_partition(coloring)
+    else:
+        raise CompileError(f"unknown partition kind {kind!r}")
+
+    positions: List[Optional[Partition]] = [None] * nlevels
+    positions[initial_level] = down
+    # Downward: children inherit their parent's colors.
+    cur = down
+    for l in range(initial_level + 1, nlevels):
+        cur = funcs[l].partition_from_parent(cur)
+        positions[l] = cur
+    # Upward: parents take the union of their children's colors.
+    if initial_level > 0:
+        positions[initial_level - 1] = up
+        for l in range(initial_level - 1, 0, -1):
+            parent = funcs[l].partition_from_child(positions[l])
+            positions[l - 1] = parent
+        if positions[0] is not None:
+            funcs[0].partition_from_child(positions[0])
+
+    vals_src = positions[nlevels - 1]
+    vals_part = Partition(tensor.vals.ispace, dict(vals_src.subsets),
+                          name=f"{tensor.name}ValsPart")
+    return TensorPartition(
+        tensor,
+        level_positions=positions,
+        level_pos_parts=[f.pos_part for f in funcs],
+        vals_part=vals_part,
+        colors=colors,
+    )
+
+
+def partition_dense_tensor(
+    tensor: Tensor,
+    mode_bounds: Dict[Color, Dict[int, Bounds]],
+    plan: Optional[PartitioningPlan] = None,
+) -> TensorPartition:
+    """Partition an all-dense tensor by per-mode coordinate bounds.
+
+    ``mode_bounds[color]`` maps tensor modes to inclusive coordinate ranges;
+    unmentioned modes span their full extent (this is DISTAL's dense tensor
+    distribution).  The partition is over the tensor's N-D values region.
+    """
+    if plan is None:
+        plan = PartitioningPlan(f"partition_{tensor.name}")
+    if not tensor.format.is_all_dense():
+        raise CompileError("partition_dense_tensor requires an all-dense tensor")
+    subsets = {}
+    stored_modes = tensor.format.mode_ordering
+    for color, per_mode in mode_bounds.items():
+        lo, hi = [], []
+        for level, mode in enumerate(stored_modes):
+            size = tensor.shape[mode]
+            b = per_mode.get(mode, (0, size - 1))
+            lo.append(max(0, b[0]))
+            hi.append(min(size - 1, b[1]))
+        r = Rect(tuple(lo), tuple(hi))
+        subsets[color] = EMPTY if r.empty else RectSubset(r)
+    plan.emit(
+        "partitionByBounds",
+        f"{tensor.name}ValsPart = partitionByBounds(C_{tensor.name}, {tensor.name}.dom)",
+        tensor=tensor.name,
+        level=0,
+    )
+    part = Partition(tensor.vals.ispace, subsets, name=f"{tensor.name}ValsPart")
+    nlevels = len(tensor.levels)
+    return TensorPartition(
+        tensor,
+        level_positions=[None] * nlevels,
+        level_pos_parts=[None] * nlevels,
+        vals_part=part,
+        colors=list(mode_bounds.keys()),
+    )
+
+
+def replicated_partition(tensor: Tensor, colors: Sequence[Color]) -> TensorPartition:
+    """Every color sees the whole tensor (e.g. the replicated SpMV vector)."""
+    full = tensor.vals.ispace.full_subset()
+    part = Partition(
+        tensor.vals.ispace, {c: full for c in colors}, name=f"{tensor.name}Repl"
+    )
+    nlevels = len(tensor.levels)
+    return TensorPartition(
+        tensor,
+        level_positions=[None] * nlevels,
+        level_pos_parts=[None] * nlevels,
+        vals_part=part,
+        colors=list(colors),
+        replicated=True,
+    )

@@ -1,0 +1,57 @@
+"""Partitioning-plan IR: the "generated code" of the compiler.
+
+The paper's code generation algorithm (Fig. 9a) emits IR fragments returned
+by the level functions of Table I.  In this reproduction the level functions
+*execute* the partitioning operations eagerly (against ``repro.legion``) and
+simultaneously record the IR statement they would have emitted, so tests can
+check the generated program against Table I / Fig. 9b while the resulting
+partitions are immediately usable.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["PlanStmt", "PartitioningPlan"]
+
+
+@dataclass(frozen=True)
+class PlanStmt:
+    """One emitted IR statement.
+
+    ``op`` is the abstract operation (e.g. ``partitionByBounds``, ``image``,
+    ``preimage``, ``copy``); ``text`` is the Fig. 9b-style pseudo-code line;
+    ``tensor``/``level`` identify the level function invocation that emitted
+    it.
+    """
+
+    op: str
+    text: str
+    tensor: str = ""
+    level: int = -1
+
+
+class PartitioningPlan:
+    """An ordered list of emitted partitioning statements."""
+
+    def __init__(self, name: str = "plan"):
+        self.name = name
+        self.stmts: List[PlanStmt] = []
+
+    def emit(self, op: str, text: str, *, tensor: str = "", level: int = -1) -> None:
+        self.stmts.append(PlanStmt(op, text, tensor, level))
+
+    def ops(self) -> List[str]:
+        return [s.op for s in self.stmts]
+
+    def ops_for(self, tensor: str) -> List[str]:
+        return [s.op for s in self.stmts if s.tensor == tensor]
+
+    def describe(self) -> str:
+        return "\n".join(s.text for s in self.stmts)
+
+    def __len__(self) -> int:
+        return len(self.stmts)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PartitioningPlan({self.name}, {len(self.stmts)} stmts)"

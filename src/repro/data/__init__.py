@@ -1,0 +1,18 @@
+"""Dataset suite: synthetic Table II stand-ins, generators and I/O."""
+from . import matrices, tensors
+from .io import read_matrix_market, read_tns, write_matrix_market, write_tns
+from .suite import (
+    SUITE_MATRICES,
+    SUITE_TENSORS,
+    DatasetEntry,
+    load_matrix,
+    load_tensor,
+    table2,
+)
+
+__all__ = [
+    "matrices", "tensors",
+    "read_matrix_market", "read_tns", "write_matrix_market", "write_tns",
+    "SUITE_MATRICES", "SUITE_TENSORS", "DatasetEntry",
+    "load_matrix", "load_tensor", "table2",
+]

@@ -1,0 +1,156 @@
+"""Synthetic matrix generators reproducing Table II's structural classes.
+
+The paper evaluates on SuiteSparse matrices too large to ship or build
+here; each generator below reproduces the *structural class* of one group
+of Table II entries at a configurable scale, because the evaluation's
+qualitative behaviour depends on structure:
+
+* web-connectivity graphs (arabic/it/sk/uk/webbase) — power-law out-degree
+  with local clustering → row-degree skew → load imbalance for row splits;
+* social networks (twitter7) — heavier-tailed RMAT-style skew;
+* protein k-mer graphs (kmer_A2a/V1r) — huge, 2–4 non-zeros per row,
+  near-uniform → metadata-dominated;
+* PDE/KKT systems (nlpkkt240) — structured stencil blocks, symmetric,
+  nearly constant row degree → perfectly balanced;
+* mycielskian19 — the recursive Mycielski construction (via networkx);
+* banded matrices — the weak-scaling workload of Fig. 13.
+
+All generators are deterministic in ``seed`` and return CSR matrices.
+"""
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "banded",
+    "power_law",
+    "rmat",
+    "kmer_like",
+    "stencil_kkt",
+    "mycielskian",
+    "uniform_random",
+]
+
+
+def banded(n: int, bandwidth: int = 5, *, seed: int = 0) -> sp.csr_matrix:
+    """A banded matrix with ``2*bandwidth+1`` diagonals (Fig. 13 workload)."""
+    rng = np.random.default_rng(seed)
+    offsets = range(-bandwidth, bandwidth + 1)
+    diags = [rng.random(n - abs(o)) + 0.1 for o in offsets]
+    return sp.diags(diags, list(offsets), shape=(n, n), format="csr")
+
+
+def power_law(
+    n: int, nnz_target: int, *, alpha: float = 1.8, seed: int = 0
+) -> sp.csr_matrix:
+    """Web-connectivity-like matrix: Zipf out-degrees, clustered columns."""
+    rng = np.random.default_rng(seed)
+    # Zipf row degrees normalized to the target nnz, capped so hub rows do
+    # not collapse to duplicates (real web hubs link to distinct pages).
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-alpha)
+    cap = max(1, n // 2)
+    scale_c = nnz_target / weights.sum()
+    for _ in range(8):  # renormalize around the cap until the total lands
+        degrees = np.minimum(np.round(scale_c * weights), cap)
+        total = degrees.sum()
+        if total >= nnz_target or total == cap * n:
+            break
+        free = degrees < cap
+        deficit = nnz_target - total
+        scale_c *= 1.0 + deficit / max(scale_c * weights[free].sum(), 1.0)
+    degrees = np.maximum(degrees, 1).astype(np.int64)
+    rng.shuffle(degrees)  # hubs scattered through the row space
+    rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    # Columns cluster near the row (web locality) with long-range links.
+    local = rng.normal(loc=rows, scale=max(2.0, n * 0.05), size=rows.size)
+    far = rng.integers(0, n, size=rows.size)
+    use_far = rng.random(rows.size) < 0.2
+    cols = np.where(use_far, far, np.clip(np.round(local), 0, n - 1)).astype(np.int64)
+    vals = rng.random(rows.size) + 0.1
+    m = sp.coo_matrix((vals, (rows, cols)), shape=(n, n))
+    m.sum_duplicates()
+    return m.tocsr()
+
+
+def rmat(
+    scale: int, edge_factor: int = 16, *,
+    a: float = 0.57, b: float = 0.19, c: float = 0.19, seed: int = 0,
+) -> sp.csr_matrix:
+    """Recursive-matrix (Graph500) generator — social-network-like skew."""
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    nedges = n * edge_factor
+    rows = np.zeros(nedges, dtype=np.int64)
+    cols = np.zeros(nedges, dtype=np.int64)
+    ab, abc = a + b, a + b + c
+    for level in range(scale):
+        r = rng.random(nedges)
+        go_right = (r >= a) & (r < ab)
+        go_down = (r >= ab) & (r < abc)
+        go_diag = r >= abc
+        bit = 1 << (scale - level - 1)
+        cols += bit * (go_right | go_diag)
+        rows += bit * (go_down | go_diag)
+    vals = rng.random(nedges) + 0.1
+    m = sp.coo_matrix((vals, (rows, cols)), shape=(n, n))
+    m.sum_duplicates()
+    return m.tocsr()
+
+
+def kmer_like(n: int, *, seed: int = 0) -> sp.csr_matrix:
+    """Protein k-mer graph: 1–4 non-zeros per row, near-uniform structure."""
+    rng = np.random.default_rng(seed)
+    degrees = rng.integers(1, 5, size=n)
+    rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    # de-Bruijn-like successors: small multiplicative jumps in id space
+    jumps = rng.integers(1, 5, size=rows.size)
+    cols = (rows * 4 + jumps) % n
+    vals = np.ones(rows.size)
+    m = sp.coo_matrix((vals, (rows, cols)), shape=(n, n))
+    m.sum_duplicates()
+    return m.tocsr()
+
+
+def stencil_kkt(grid: int, *, seed: int = 0) -> sp.csr_matrix:
+    """nlpkkt-like: a 3-D 7-point stencil KKT system (constant row degree)."""
+    rng = np.random.default_rng(seed)
+    one = sp.eye(grid, format="csr")
+    tri = sp.diags(
+        [np.ones(grid - 1), np.full(grid, 6.0), np.ones(grid - 1)],
+        [-1, 0, 1], format="csr",
+    )
+    lap = (
+        sp.kron(sp.kron(tri, one), one)
+        + sp.kron(sp.kron(one, tri), one)
+        + sp.kron(sp.kron(one, one), tri)
+    ).tocsr()
+    n = lap.shape[0]
+    lap.data = lap.data * (0.5 + rng.random(lap.nnz))
+    # KKT structure: [[H, A^T], [A, 0]] with a thin constraint block.
+    m = n // 4 + 1
+    a_rows = np.arange(m, dtype=np.int64)
+    a_cols = (a_rows * 3) % n
+    A = sp.coo_matrix((np.ones(m), (a_rows, a_cols)), shape=(m, n)).tocsr()
+    top = sp.hstack([lap, A.T], format="csr")
+    bottom = sp.hstack([A, sp.csr_matrix((m, m))], format="csr")
+    return sp.vstack([top, bottom], format="csr")
+
+
+def mycielskian(k: int, *, seed: int = 0) -> sp.csr_matrix:
+    """The Mycielski graph M_k's adjacency matrix (Table II: mycielskian19)."""
+    import networkx as nx
+
+    g = nx.mycielski_graph(k)
+    m = nx.to_scipy_sparse_array(g, format="csr", dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    m = sp.csr_matrix(m)
+    m.data = 0.1 + rng.random(m.nnz)
+    return sp.csr_matrix((m + m.T) / 2.0)  # keep the adjacency symmetric
+
+
+def uniform_random(n: int, density: float, *, seed: int = 0) -> sp.csr_matrix:
+    rng = np.random.default_rng(seed)
+    return sp.random(n, n, density=density, random_state=rng, format="csr",
+                     data_rvs=lambda size: rng.random(size) + 0.1)

@@ -1,0 +1,118 @@
+"""The experiment dataset suite: scaled stand-ins for Table II.
+
+Every entry of the paper's Table II has a named, deterministic, scaled
+synthetic counterpart here.  ``load_matrix``/``load_tensor`` construct the
+dataset; ``table2()`` prints the inventory with domains and non-zero counts
+the way the paper's table does.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..taco.formats import CSF3, CSR, DDC, Format
+from ..taco.tensor import Tensor
+from . import matrices as M
+from . import tensors as T
+
+__all__ = [
+    "DatasetEntry",
+    "SUITE_MATRICES",
+    "SUITE_TENSORS",
+    "load_matrix",
+    "load_tensor",
+    "table2",
+]
+
+
+@dataclass(frozen=True)
+class DatasetEntry:
+    name: str
+    domain: str
+    paper_nnz: float  # the real dataset's non-zeros (Table II)
+    builder: Callable[[float, int], object]  # (scale, seed) -> data
+    kind: str  # "matrix" | "tensor"
+    format: Format = CSR
+
+
+def _m(name, domain, paper_nnz, fn):
+    return DatasetEntry(name, domain, paper_nnz, fn, "matrix")
+
+
+def _t(name, domain, paper_nnz, fn, fmt=CSF3):
+    return DatasetEntry(name, domain, paper_nnz, fn, "tensor", fmt)
+
+
+SUITE_MATRICES: Dict[str, DatasetEntry] = {
+    e.name: e
+    for e in [
+        _m("arabic-2005", "Web Connectivity", 6.39e8,
+           lambda s, seed: M.power_law(int(3000 * s), int(130_000 * s), alpha=1.8, seed=seed)),
+        _m("it-2004", "Web Connectivity", 1.15e9,
+           lambda s, seed: M.power_law(int(3400 * s), int(200_000 * s), alpha=1.9, seed=seed + 1)),
+        _m("kmer_A2a", "Protein Structure", 3.60e8,
+           lambda s, seed: M.kmer_like(int(40_000 * s), seed=seed + 2)),
+        _m("kmer_V1r", "Protein Structure", 4.65e8,
+           lambda s, seed: M.kmer_like(int(52_000 * s), seed=seed + 3)),
+        _m("mycielskian19", "Synthetic", 9.03e8,
+           lambda s, seed: M.mycielskian(max(5, int(np.log2(max(s, 1e-3) * 8192))), seed=seed + 4)),
+        _m("nlpkkt240", "PDE's", 7.60e8,
+           lambda s, seed: M.stencil_kkt(max(4, int(round(28 * s ** (1 / 3)))), seed=seed + 5)),
+        _m("sk-2005", "Web Connectivity", 1.94e9,
+           lambda s, seed: M.power_law(int(4000 * s), int(330_000 * s), alpha=2.0, seed=seed + 6)),
+        _m("twitter7", "Social Network", 1.46e9,
+           lambda s, seed: M.rmat(max(6, int(np.log2(16_000 * s))), 16, seed=seed + 7)),
+        _m("uk-2005", "Web Connectivity", 9.36e8,
+           lambda s, seed: M.power_law(int(3200 * s), int(160_000 * s), alpha=1.85, seed=seed + 8)),
+        _m("webbase-2001", "Web Connectivity", 1.01e9,
+           lambda s, seed: M.power_law(int(3600 * s), int(175_000 * s), alpha=2.1, seed=seed + 9)),
+    ]
+}
+
+SUITE_TENSORS: Dict[str, DatasetEntry] = {
+    e.name: e
+    for e in [
+        _t("freebase_music", "Data Mining", 1.74e9,
+           lambda s, seed: T.freebase_like(
+               (int(4000 * s), 64, int(4000 * s)), int(120_000 * s), seed=seed + 10)),
+        _t("freebase_sampled", "Data Mining", 9.95e7,
+           lambda s, seed: T.freebase_like(
+               (int(2500 * s), 48, int(2500 * s)), int(60_000 * s), seed=seed + 11)),
+        _t("nell-2", "NLP", 7.68e7,
+           lambda s, seed: T.frostt_like(
+               (int(1200 * s), int(900 * s), int(600 * s)), int(60_000 * s), seed=seed + 12)),
+        _t("patents", "Data Mining", 3.59e9,
+           lambda s, seed: T.patents_like(
+               (8, int(1500 * s), int(1500 * s)), int(150_000 * s), seed=seed + 13),
+           DDC),
+    ]
+}
+
+#: Dataset scale used throughout the benchmarks (fraction of "full" synthetic
+#: size, which is itself ~1e-3 of the paper's datasets).
+DEFAULT_SCALE = 1.0
+
+
+def load_matrix(name: str, scale: float = DEFAULT_SCALE, seed: int = 7) -> sp.csr_matrix:
+    entry = SUITE_MATRICES[name]
+    mat = entry.builder(scale, seed)
+    return mat.tocsr()
+
+
+def load_tensor(name: str, scale: float = DEFAULT_SCALE, seed: int = 7) -> Tensor:
+    entry = SUITE_TENSORS[name]
+    coords, vals, shape = entry.builder(scale, seed)
+    return Tensor.from_coo(name.replace("-", "_"), coords, vals, shape, entry.format)
+
+
+def table2(scale: float = DEFAULT_SCALE, seed: int = 7) -> List[Tuple[str, str, int, float]]:
+    """(name, domain, scaled nnz, paper nnz) rows, mirroring Table II."""
+    rows = []
+    for name, e in SUITE_MATRICES.items():
+        rows.append((name, e.domain, int(load_matrix(name, scale, seed).nnz), e.paper_nnz))
+    for name, e in SUITE_TENSORS.items():
+        rows.append((name, e.domain, int(load_tensor(name, scale, seed).nnz), e.paper_nnz))
+    return rows

@@ -1,0 +1,105 @@
+"""Synthetic 3-tensor generators for the FROSTT / Freebase entries of Table II.
+
+* ``frostt_like`` — nell-2-style NLP tensors: moderate mode sizes, skewed
+  slice and fiber populations;
+* ``freebase_like`` — knowledge-graph triples: one short relation mode and
+  two very large, very skewed entity modes (music/sampled);
+* ``patents_like`` — the "patents" structure: a short dense first mode
+  (years), a dense second mode, and a compressed third — the reason the
+  paper stores it as {Dense, Dense, Compressed}.
+
+Generators return ``(coords, vals, shape)`` triples (tensor-mode order)
+that feed :meth:`repro.taco.Tensor.from_coo`, and are deterministic in
+``seed``.
+"""
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["frostt_like", "freebase_like", "patents_like", "random_tensor"]
+
+Coords = Tuple[List[np.ndarray], np.ndarray, Tuple[int, ...]]
+
+
+def _zipf_indices(rng, n: int, count: int, alpha: float) -> np.ndarray:
+    """``count`` samples from a Zipf-ish distribution over ``[0, n)``."""
+    ranks = np.arange(1, n + 1, dtype=float)
+    w = ranks ** (-alpha)
+    w /= w.sum()
+    idx = rng.choice(n, size=count, p=w)
+    perm = rng.permutation(n)  # scatter the hubs
+    return perm[idx].astype(np.int64)
+
+
+def frostt_like(
+    shape: Tuple[int, int, int] = (1200, 900, 600),
+    nnz: int = 60_000,
+    *,
+    alpha: float = 1.1,
+    seed: int = 0,
+) -> Coords:
+    """An NLP-style tensor (nell-2): all modes moderately skewed."""
+    rng = np.random.default_rng(seed)
+    i = _zipf_indices(rng, shape[0], nnz, alpha)
+    j = _zipf_indices(rng, shape[1], nnz, alpha * 0.9)
+    k = _zipf_indices(rng, shape[2], nnz, alpha * 0.8)
+    vals = rng.random(nnz) + 0.1
+    return _dedupe([i, j, k], vals, shape)
+
+
+def freebase_like(
+    shape: Tuple[int, int, int] = (4000, 64, 4000),
+    nnz: int = 80_000,
+    *,
+    seed: int = 0,
+) -> Coords:
+    """Knowledge-graph triples (subject, relation, object): heavy skew.
+
+    A small set of entities participates in most triples, and relations
+    are Zipf-distributed — the structure that makes row-based splits of
+    Freebase tensors badly imbalanced.
+    """
+    rng = np.random.default_rng(seed)
+    i = _zipf_indices(rng, shape[0], nnz, 1.4)
+    j = _zipf_indices(rng, shape[1], nnz, 1.2)
+    k = _zipf_indices(rng, shape[2], nnz, 1.4)
+    vals = np.ones(nnz)
+    return _dedupe([i, j, k], vals, shape)
+
+
+def patents_like(
+    shape: Tuple[int, int, int] = (8, 1500, 1500),
+    nnz: int = 90_000,
+    *,
+    seed: int = 0,
+) -> Coords:
+    """The "patents" structure: short dense first mode, dense second mode.
+
+    Nearly every (year, term) pair appears, so the first two levels are
+    best stored Dense (the paper's DDC format choice).
+    """
+    rng = np.random.default_rng(seed)
+    i = rng.integers(0, shape[0], size=nnz).astype(np.int64)
+    j = rng.integers(0, shape[1], size=nnz).astype(np.int64)
+    k = _zipf_indices(rng, shape[2], nnz, 0.8)
+    vals = rng.random(nnz) + 0.1
+    return _dedupe([i, j, k], vals, shape)
+
+
+def random_tensor(
+    shape: Tuple[int, ...], nnz: int, *, seed: int = 0
+) -> Coords:
+    rng = np.random.default_rng(seed)
+    coords = [rng.integers(0, s, size=nnz).astype(np.int64) for s in shape]
+    vals = rng.random(nnz) + 0.1
+    return _dedupe(coords, vals, shape)
+
+
+def _dedupe(coords: List[np.ndarray], vals: np.ndarray, shape) -> Coords:
+    key = np.zeros(vals.size, dtype=np.int64)
+    for c, s in zip(coords, shape):
+        key = key * s + c
+    _, keep = np.unique(key, return_index=True)
+    return [c[keep] for c in coords], vals[keep], tuple(shape)

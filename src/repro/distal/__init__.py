@@ -1,0 +1,18 @@
+"""DISTAL layer: tensor distribution notation and data placement.
+
+DISTAL (Yadav et al., PLDI'22) contributes the separation of data
+distribution (TDN) from computation distribution (scheduling); SpDISTAL
+extends TDN with non-zero partitions and coordinate fusion (paper §II-B).
+"""
+from .tdn import TDN, Distribution, MachineDimRef, nz, parse_tdn
+from .distribution import (
+    TensorDistribution,
+    distribute,
+    partition_for_tdn,
+    place_tensor,
+)
+
+__all__ = [
+    "TDN", "Distribution", "MachineDimRef", "nz", "parse_tdn",
+    "TensorDistribution", "distribute", "partition_for_tdn", "place_tensor",
+]

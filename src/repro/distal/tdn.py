@@ -1,0 +1,172 @@
+"""Tensor distribution notation (paper §II-B).
+
+A TDN statement names each dimension of a tensor and of a machine; tensor
+dimensions sharing a name with a machine dimension are partitioned by it.
+SpDISTAL extends DISTAL's notation with
+
+* **non-zero partitions** — the tilde operator ``~d`` splits the stored
+  non-zero coordinates of ``d`` evenly instead of its coordinate universe;
+* **coordinate fusion** — ``xy -> f`` collapses dimensions into one logical
+  dimension that can then be non-zero partitioned.
+
+Construct programmatically (``Distribution([x, y], M, [x])`` as in the
+paper's Fig. 1) or parse from text::
+
+    parse_tdn("B(x, y) -> M(x)")                 # row-wise (Fig. 4b)
+    parse_tdn("T(x) -> M(~x)")                   # non-zero vector (Fig. 5b)
+    parse_tdn("B(x, y) [x y -> f] -> M(~f)")     # fused non-zeros (Fig. 5c)
+    parse_tdn("c(x) -> M(y)")                    # replicated (no shared name)
+"""
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import FormatError
+from ..taco.index_vars import DistVar
+
+__all__ = ["MachineDimRef", "TDN", "Distribution", "nz", "parse_tdn"]
+
+
+@dataclass(frozen=True)
+class MachineDimRef:
+    """One machine dimension's binding: a name, optionally non-zero (~)."""
+
+    name: str
+    nonzero: bool = False
+
+    def __repr__(self) -> str:
+        return ("~" if self.nonzero else "") + self.name
+
+
+class _Tilde:
+    """Marker produced by :func:`nz` around a DistVar."""
+
+    def __init__(self, var: Union[DistVar, str]):
+        self.name = var.name if isinstance(var, DistVar) else str(var)
+
+
+def nz(var: Union[DistVar, str]) -> _Tilde:
+    """The tilde operator: request a non-zero partition of ``var``."""
+    return _Tilde(var)
+
+
+@dataclass
+class TDN:
+    """A tensor distribution notation statement."""
+
+    tensor_dims: Tuple[str, ...]  # one name per tensor mode
+    machine_dims: Tuple[MachineDimRef, ...]  # one per machine grid dim
+    fusions: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for fused, parts in self.fusions.items():
+            for p in parts:
+                if p not in self.tensor_dims:
+                    raise FormatError(
+                        f"fusion {parts}->{fused} names unknown dimension {p!r}"
+                    )
+        for m in self.machine_dims:
+            if m.nonzero and not self._resolves(m.name):
+                raise FormatError(f"~{m.name} names no tensor or fused dimension")
+
+    def _resolves(self, name: str) -> bool:
+        return name in self.tensor_dims or name in self.fusions
+
+    def modes_of(self, name: str) -> List[int]:
+        """Tensor modes a (possibly fused) dimension name covers."""
+        if name in self.fusions:
+            out: List[int] = []
+            for part in self.fusions[name]:
+                out.extend(self.modes_of(part))
+            return out
+        if name in self.tensor_dims:
+            return [self.tensor_dims.index(name)]
+        return []
+
+    def matched_dims(self) -> List[Tuple[int, MachineDimRef, List[int]]]:
+        """(machine grid dim, ref, covered tensor modes) for partitioning dims."""
+        out = []
+        for g, m in enumerate(self.machine_dims):
+            modes = self.modes_of(m.name)
+            if modes:
+                out.append((g, m, modes))
+        return out
+
+    def replication_dims(self) -> List[int]:
+        """Machine grid dims that replicate (no matching tensor dimension)."""
+        return [g for g, m in enumerate(self.machine_dims) if not self.modes_of(m.name)]
+
+    def __repr__(self) -> str:
+        t = ",".join(self.tensor_dims)
+        f = "".join(
+            f" [{' '.join(parts)} -> {fused}]" for fused, parts in self.fusions.items()
+        )
+        m = ",".join(map(repr, self.machine_dims))
+        return f"T({t}){f} -> M({m})"
+
+
+def Distribution(
+    tensor_vars: Sequence[Union[DistVar, str]],
+    machine,
+    machine_vars: Sequence[Union[DistVar, str, _Tilde]],
+    fuse: Optional[Dict[Union[DistVar, str], Sequence[Union[DistVar, str]]]] = None,
+) -> TDN:
+    """The paper's ``Distribution({x, y}, M, {x})`` constructor (Fig. 1).
+
+    ``machine`` is accepted for interface fidelity; the grid is re-checked
+    when the distribution is applied.
+    """
+    t_names = tuple(v.name if isinstance(v, DistVar) else str(v) for v in tensor_vars)
+    m_refs = []
+    for v in machine_vars:
+        if isinstance(v, _Tilde):
+            m_refs.append(MachineDimRef(v.name, nonzero=True))
+        else:
+            m_refs.append(MachineDimRef(v.name if isinstance(v, DistVar) else str(v)))
+    fusions = {}
+    if fuse:
+        for fused, parts in fuse.items():
+            fname = fused.name if isinstance(fused, DistVar) else str(fused)
+            fusions[fname] = tuple(
+                p.name if isinstance(p, DistVar) else str(p) for p in parts
+            )
+    return TDN(t_names, tuple(m_refs), fusions)
+
+
+_TDN_RE = re.compile(
+    r"^\s*(?P<tensor>\w+)\s*\(\s*(?P<tdims>[^)]*)\)\s*"
+    r"(?P<fusions>(?:\[[^\]]*\]\s*)*)"
+    r"->\s*(?P<machine>\w+)\s*\(\s*(?P<mdims>[^)]*)\)\s*$"
+)
+_FUSION_RE = re.compile(r"\[\s*([^\]]+?)\s*->\s*(\w+)\s*\]")
+
+
+def _split_names(text: str) -> List[str]:
+    text = text.strip()
+    if not text:
+        return []
+    if "," in text or re.search(r"\s", text):
+        return [t for t in re.split(r"[,\s]+", text) if t]
+    # juxtaposed single letters, e.g. "xy" or "~f"
+    return re.findall(r"~?\w", text)
+
+
+def parse_tdn(text: str) -> TDN:
+    """Parse a textual TDN statement; see the module docstring for examples."""
+    m = _TDN_RE.match(text)
+    if not m:
+        raise FormatError(f"cannot parse TDN statement: {text!r}")
+    tdims = tuple(_split_names(m.group("tdims")))
+    fusions: Dict[str, Tuple[str, ...]] = {}
+    for fm in _FUSION_RE.finditer(m.group("fusions") or ""):
+        parts = tuple(_split_names(fm.group(1)))
+        fusions[fm.group(2)] = parts
+    mdims = []
+    for name in _split_names(m.group("mdims")):
+        if name.startswith("~"):
+            mdims.append(MachineDimRef(name[1:], nonzero=True))
+        else:
+            mdims.append(MachineDimRef(name))
+    return TDN(tdims, tuple(mdims), fusions)

@@ -1,0 +1,33 @@
+"""Exception types shared across the package."""
+from __future__ import annotations
+
+__all__ = ["ReproError", "OOMError", "CompileError", "ScheduleError", "FormatError"]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class OOMError(ReproError):
+    """A simulated processor ran out of memory (reported as DNC in Fig. 11)."""
+
+    def __init__(self, proc: int, needed: float, capacity: float, what: str = ""):
+        self.proc = proc
+        self.needed = needed
+        self.capacity = capacity
+        super().__init__(
+            f"processor {proc} out of memory: needs {needed / 2**30:.2f} GiB, "
+            f"capacity {capacity / 2**30:.2f} GiB{' (' + what + ')' if what else ''}"
+        )
+
+
+class CompileError(ReproError):
+    """The compiler could not lower the scheduled statement."""
+
+
+class ScheduleError(ReproError):
+    """An invalid scheduling transformation was requested."""
+
+
+class FormatError(ReproError):
+    """An invalid tensor format or format/operation combination."""

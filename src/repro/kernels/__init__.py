@@ -1,0 +1,34 @@
+"""Leaf kernels executed by the pieces of a distributed computation.
+
+Each kernel has a vectorized implementation (the analogue of the
+generated C++/CUDA or vendor-library leaf in the paper) plus, for the core
+kernels, a straight loop-nest reference used for cross-validation.  The
+generic COO engine covers every tensor algebra expression the specialized
+kernels do not match.
+"""
+from .segment import (
+    expand_ranges,
+    piece_range,
+    row_of_positions,
+    segment_sum,
+    segment_sum_matrix,
+)
+from .spmv import spmv_nonzeros, spmv_rows, spmv_rows_reference
+from .spmm import spmm_nonzeros, spmm_rows, spmm_rows_reference
+from .sddmm import sddmm_nonzeros, sddmm_reference, sddmm_rows
+from .spadd import spadd3_fill, spadd3_symbolic
+from .spttv import spttv_fibers, spttv_nonzeros, spttv_reference
+from .spmttkrp import spmttkrp_csf, spmttkrp_ddc, spmttkrp_reference
+from .generic_coo import CooData, coo_of_access, evaluate_generic
+
+__all__ = [
+    "expand_ranges", "piece_range", "row_of_positions", "segment_sum",
+    "segment_sum_matrix",
+    "spmv_nonzeros", "spmv_rows", "spmv_rows_reference",
+    "spmm_nonzeros", "spmm_rows", "spmm_rows_reference",
+    "sddmm_nonzeros", "sddmm_reference", "sddmm_rows",
+    "spadd3_fill", "spadd3_symbolic",
+    "spttv_fibers", "spttv_nonzeros", "spttv_reference",
+    "spmttkrp_csf", "spmttkrp_ddc", "spmttkrp_reference",
+    "CooData", "coo_of_access", "evaluate_generic",
+]

@@ -1,0 +1,165 @@
+"""Generic sparse tensor algebra engine over COO data.
+
+SpDISTAL supports *all* of tensor algebra; the specialized leaf kernels
+cover the paper's evaluation kernels, and every other expression lowers to
+this engine: operands are materialized as COO sub-tensors, products are
+evaluated by pairwise sort-merge joins on shared index variables, sums by
+concatenation, and reduction variables are folded with a grouped segment
+sum.  Everything is vectorized NumPy; no Python-level loops over non-zeros.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..legion.machine import Work
+from ..taco.expr import Access, Add, IndexExpr, Literal, Mul
+from ..taco.index_vars import IndexVar
+
+__all__ = ["CooData", "coo_of_access", "evaluate_generic"]
+
+
+@dataclass
+class CooData:
+    """A COO tensor fragment labelled by index variables."""
+
+    vars: Tuple[IndexVar, ...]
+    coords: np.ndarray  # (len(vars), nnz) int64
+    vals: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return self.vals.size
+
+    def key_for(self, vars: Sequence[IndexVar], sizes: Dict[IndexVar, int]) -> np.ndarray:
+        """Flatten the coordinates of ``vars`` into a single sortable key."""
+        key = np.zeros(self.nnz, dtype=np.int64)
+        for v in vars:
+            key = key * sizes[v] + self.coords[self.vars.index(v)]
+        return key
+
+
+def coo_of_access(access: Access, restrict: Optional[Dict[IndexVar, Tuple[int, int]]] = None) -> CooData:
+    """Materialize an access as COO, optionally restricted per-variable.
+
+    ``restrict`` maps index variables to inclusive coordinate bounds — the
+    per-piece sub-tensor selection of a distributed execution.
+    """
+    coords_list, vals = access.tensor.to_coo()
+    coords = np.stack([np.asarray(c) for c in coords_list]) if coords_list else np.empty((0, 0))
+    if restrict:
+        mask = np.ones(vals.size, dtype=bool)
+        for dim, v in enumerate(access.indices):
+            if v in restrict:
+                lo, hi = restrict[v]
+                mask &= (coords[dim] >= lo) & (coords[dim] <= hi)
+        coords = coords[:, mask]
+        vals = vals[mask]
+    return CooData(tuple(access.indices), coords, vals)
+
+
+def _multiply(a: CooData, b: CooData, sizes: Dict[IndexVar, int]) -> Tuple[CooData, float]:
+    """Sort-merge join on shared variables; returns the product and flop count."""
+    shared = [v for v in a.vars if v in b.vars]
+    out_vars = list(a.vars) + [v for v in b.vars if v not in a.vars]
+    if not shared:
+        # outer product
+        na, nb = a.nnz, b.nnz
+        ia = np.repeat(np.arange(na, dtype=np.int64), nb)
+        ib = np.tile(np.arange(nb, dtype=np.int64), na)
+    else:
+        ka = a.key_for(shared, sizes)
+        kb = b.key_for(shared, sizes)
+        order = np.argsort(kb, kind="stable")
+        kb_sorted = kb[order]
+        lo = np.searchsorted(kb_sorted, ka, side="left")
+        hi = np.searchsorted(kb_sorted, ka, side="right")
+        counts = hi - lo
+        ia = np.repeat(np.arange(a.nnz, dtype=np.int64), counts)
+        if counts.sum() == 0:
+            ib = np.empty(0, dtype=np.int64)
+        else:
+            steps = np.ones(int(counts.sum()), dtype=np.int64)
+            ends = np.cumsum(counts[counts > 0])
+            first = lo[counts > 0]
+            steps[0] = first[0]
+            steps[ends[:-1]] = first[1:] - (first[:-1] + counts[counts > 0][:-1] - 1)
+            ib = order[np.cumsum(steps)]
+    rows = []
+    for v in out_vars:
+        if v in a.vars:
+            rows.append(a.coords[a.vars.index(v)][ia])
+        else:
+            rows.append(b.coords[b.vars.index(v)][ib])
+    coords = np.stack(rows) if rows else np.empty((0, ia.size))
+    vals = a.vals[ia] * b.vals[ib]
+    return CooData(tuple(out_vars), coords, vals), float(vals.size)
+
+
+def _reduce_to(t: CooData, keep: Sequence[IndexVar], sizes: Dict[IndexVar, int]) -> CooData:
+    """Sum out every variable not in ``keep``; coalesce duplicates."""
+    keep = [v for v in keep if v in t.vars] + []
+    if t.nnz == 0:
+        return CooData(tuple(keep), np.empty((len(keep), 0), dtype=np.int64), t.vals[:0])
+    key = t.key_for(keep, sizes) if keep else np.zeros(t.nnz, dtype=np.int64)
+    uniq, inverse = np.unique(key, return_inverse=True)
+    vals = np.bincount(inverse, weights=t.vals, minlength=uniq.size)
+    coords = np.empty((len(keep), uniq.size), dtype=np.int64)
+    rem = uniq.copy()
+    for d in range(len(keep) - 1, -1, -1):
+        size = sizes[keep[d]]
+        coords[d] = rem % size
+        rem //= size
+    return CooData(tuple(keep), coords, vals.astype(t.vals.dtype))
+
+
+def _eval(expr: IndexExpr, sizes, restrict) -> Tuple[CooData, float]:
+    if isinstance(expr, Access):
+        return coo_of_access(expr, restrict), 0.0
+    if isinstance(expr, Literal):
+        return CooData((), np.empty((0, 1), dtype=np.int64), np.array([expr.value])), 0.0
+    if isinstance(expr, Mul):
+        acc, flops = _eval(expr.operands[0], sizes, restrict)
+        for op in expr.operands[1:]:
+            rhs, f2 = _eval(op, sizes, restrict)
+            acc, f3 = _multiply(acc, rhs, sizes)
+            flops += f2 + f3
+        return acc, flops
+    if isinstance(expr, Add):
+        parts, flops = [], 0.0
+        out_vars: List[IndexVar] = []
+        for op in expr.operands:
+            p, f = _eval(op, sizes, restrict)
+            parts.append(p)
+            flops += f
+            for v in p.vars:
+                if v not in out_vars:
+                    out_vars.append(v)
+        aligned = []
+        for p in parts:
+            if set(p.vars) != set(out_vars):
+                raise ValueError("addition operands must share index variables")
+            perm = [p.vars.index(v) for v in out_vars]
+            aligned.append(CooData(tuple(out_vars), p.coords[perm], p.vals))
+        coords = np.concatenate([p.coords for p in aligned], axis=1)
+        vals = np.concatenate([p.vals for p in aligned])
+        merged = _reduce_to(CooData(tuple(out_vars), coords, vals), out_vars, sizes)
+        return merged, flops + vals.size
+    raise TypeError(f"cannot evaluate {type(expr).__name__}")
+
+
+def evaluate_generic(
+    assignment,
+    sizes: Dict[IndexVar, int],
+    restrict: Optional[Dict[IndexVar, Tuple[int, int]]] = None,
+) -> Tuple[CooData, Work]:
+    """Evaluate a TIN statement on (a piece of) its operands.
+
+    Returns the result as COO over the LHS variables plus the work done.
+    """
+    rhs, flops = _eval(assignment.rhs, sizes, restrict)
+    result = _reduce_to(rhs, list(assignment.lhs.indices), sizes)
+    touched = sum(a.tensor.nnz for a in assignment.rhs.accesses())
+    return result, Work(flops=2.0 * max(flops, result.nnz), bytes=float(touched * 24))

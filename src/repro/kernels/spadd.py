@@ -1,0 +1,97 @@
+"""SpAdd3 leaf kernels: ``A(i,j) = B(i,j) + C(i,j) + D(i,j)`` on CSR inputs.
+
+The output pattern is unknown, so assembly follows the two-phase parallel
+approach of Chou et al. (paper §V-B): a *symbolic* pass computes each
+piece's per-row output counts; after an exclusive scan sizes the output, a
+*fill* pass writes coordinates and values without synchronization.  Fusing
+all three operands in one sweep (instead of two pairwise adds) is what buys
+the paper its 11.8–38.5x over PETSc/Trilinos.
+"""
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..legion.machine import Work
+
+__all__ = ["spadd3_symbolic", "spadd3_fill"]
+
+F8 = 8
+
+
+def _gather_rows(
+    pos: np.ndarray, crd: np.ndarray, r0: int, r1: int
+) -> Tuple[np.ndarray, np.ndarray, int, int]:
+    """(row_ids, slice bounds) of one operand's entries within rows [r0, r1]."""
+    lo = pos[r0 : r1 + 1, 0]
+    hi = pos[r0 : r1 + 1, 1]
+    lens = np.maximum(hi - lo + 1, 0)
+    s = int(lo[0]) if lens.sum() else 0
+    e = s + int(lens.sum()) - 1
+    rows = np.repeat(np.arange(r0, r1 + 1, dtype=np.int64), lens)
+    return rows, lens, s, e
+
+
+def spadd3_symbolic(
+    operands: Sequence[Tuple[np.ndarray, np.ndarray]],
+    ncols: int,
+    r0: int,
+    r1: int,
+) -> Tuple[np.ndarray, Work]:
+    """Count the union pattern's entries per row for rows ``[r0, r1]``.
+
+    ``operands`` holds each input's ``(pos, crd)``.  Returns per-row counts.
+    """
+    if r1 < r0:
+        return np.empty(0, dtype=np.int64), Work.zero()
+    keys = []
+    touched = 0
+    for pos, crd in operands:
+        rows, lens, s, e = _gather_rows(pos, crd, r0, r1)
+        if e >= s:
+            keys.append(rows * ncols + crd[s : e + 1])
+            touched += e - s + 1
+    if not keys:
+        return np.zeros(r1 - r0 + 1, dtype=np.int64), Work(0.0, 0.0)
+    merged = np.unique(np.concatenate(keys))
+    counts = np.bincount(merged // ncols - r0, minlength=r1 - r0 + 1)
+    return counts.astype(np.int64), Work(flops=float(touched), bytes=float(touched * 2 * F8))
+
+
+def spadd3_fill(
+    operands: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    ncols: int,
+    out_pos: np.ndarray,
+    out_crd: np.ndarray,
+    out_vals: np.ndarray,
+    r0: int,
+    r1: int,
+) -> Work:
+    """Write the merged coordinates/values for rows ``[r0, r1]``.
+
+    ``out_pos`` must already hold the scanned row ranges (assembly phase 1).
+    """
+    if r1 < r0:
+        return Work.zero()
+    keys, values = [], []
+    touched = 0
+    for pos, crd, vals in operands:
+        rows, lens, s, e = _gather_rows(pos, crd, r0, r1)
+        if e >= s:
+            keys.append(rows * ncols + crd[s : e + 1])
+            values.append(vals[s : e + 1])
+            touched += e - s + 1
+    if not keys:
+        return Work.zero()
+    key = np.concatenate(keys)
+    val = np.concatenate(values)
+    uniq, inverse = np.unique(key, return_inverse=True)
+    sums = np.bincount(inverse, weights=val, minlength=uniq.size)
+    dst0 = int(out_pos[r0, 0])
+    out_crd[dst0 : dst0 + uniq.size] = uniq % ncols
+    out_vals[dst0 : dst0 + uniq.size] = sums
+    return Work(
+        flops=float(touched),
+        bytes=float(touched * 3 * F8 + uniq.size * 2 * F8),
+    )

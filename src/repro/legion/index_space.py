@@ -1,0 +1,326 @@
+"""Index spaces: the Legion-style sets of points that regions are built over.
+
+An :class:`IndexSpace` names a (hyper-)rectangular domain of integer points.
+Partitions carve an index space into *subsets*, which are either dense
+rectangles (:class:`RectSubset`, the common fast path) or explicit sorted
+point lists (:class:`ArraySubset`, produced by dependent partitioning of
+irregular data).  Subsets of multi-dimensional spaces are always rectangles
+in this implementation; sparse level arrays (``pos``/``crd``/``vals``) are
+one dimensional, which is where irregular subsets arise.
+"""
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Rect",
+    "IndexSpace",
+    "IndexSubset",
+    "RectSubset",
+    "ArraySubset",
+    "EMPTY",
+    "union_subsets",
+    "intersect_subsets",
+    "subset_from_indices",
+]
+
+
+def _as_point(p: Union[int, Sequence[int]]) -> Tuple[int, ...]:
+    if isinstance(p, (int, np.integer)):
+        return (int(p),)
+    return tuple(int(x) for x in p)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An inclusive hyper-rectangle ``[lo, hi]`` of integer points.
+
+    ``lo`` and ``hi`` are tuples with one entry per dimension.  A rect is
+    *empty* when any ``hi[d] < lo[d]``; empty rects have zero volume and
+    compare equal in emptiness but not structurally.
+    """
+
+    lo: Tuple[int, ...]
+    hi: Tuple[int, ...]
+
+    def __init__(self, lo, hi):
+        object.__setattr__(self, "lo", _as_point(lo))
+        object.__setattr__(self, "hi", _as_point(hi))
+        if len(self.lo) != len(self.hi):
+            raise ValueError(f"rect lo/hi rank mismatch: {self.lo} vs {self.hi}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def empty(self) -> bool:
+        return any(h < l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def volume(self) -> int:
+        if self.empty:
+            return 0
+        v = 1
+        for l, h in zip(self.lo, self.hi):
+            v *= h - l + 1
+        return v
+
+    def contains_point(self, p) -> bool:
+        p = _as_point(p)
+        if len(p) != self.ndim:
+            return False
+        return all(l <= x <= h for x, l, h in zip(p, self.lo, self.hi))
+
+    def contains_rect(self, other: "Rect") -> bool:
+        if other.empty:
+            return True
+        return all(
+            sl <= ol and oh <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def intersection(self, other: "Rect") -> "Rect":
+        if self.ndim != other.ndim:
+            raise ValueError("rank mismatch in rect intersection")
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        return Rect(lo, hi)
+
+    def overlaps(self, other: "Rect") -> bool:
+        return not self.intersection(other).empty
+
+    def points(self) -> Iterable[Tuple[int, ...]]:
+        """Iterate every point (row-major).  Intended for small rects/tests."""
+        if self.empty:
+            return
+        ranges = [range(l, h + 1) for l, h in zip(self.lo, self.hi)]
+        yield from itertools.product(*ranges)
+
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(max(0, h - l + 1) for l, h in zip(self.lo, self.hi))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.ndim == 1:
+            return f"Rect[{self.lo[0]}..{self.hi[0]}]"
+        return f"Rect[{self.lo}..{self.hi}]"
+
+
+class IndexSpace:
+    """A named rectangular domain of points.
+
+    Index spaces are identity-compared: two spaces over the same bounds are
+    distinct objects, matching Legion where partitions are attached to a
+    specific ``IndexSpace`` handle.
+    """
+
+    _counter = itertools.count()
+
+    def __init__(self, bounds: Union[Rect, int, Sequence[int]], name: str = ""):
+        if isinstance(bounds, Rect):
+            self.bounds = bounds
+        elif isinstance(bounds, (int, np.integer)):
+            self.bounds = Rect(0, int(bounds) - 1)
+        else:
+            shape = tuple(int(s) for s in bounds)
+            self.bounds = Rect(tuple(0 for _ in shape), tuple(s - 1 for s in shape))
+        self.uid = next(IndexSpace._counter)
+        self.name = name or f"ispace{self.uid}"
+
+    @property
+    def ndim(self) -> int:
+        return self.bounds.ndim
+
+    @property
+    def volume(self) -> int:
+        return self.bounds.volume
+
+    def shape(self) -> Tuple[int, ...]:
+        return self.bounds.shape()
+
+    def full_subset(self) -> "RectSubset":
+        return RectSubset(self.bounds)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"IndexSpace({self.name}, {self.bounds})"
+
+
+class IndexSubset:
+    """Abstract subset of an index space (the payload of one partition color)."""
+
+    @property
+    def empty(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def volume(self) -> int:
+        raise NotImplementedError
+
+    def indices(self) -> np.ndarray:
+        """Materialize as a sorted 1-D array of (flattened) indices.
+
+        Only supported for 1-D subsets; rect subsets of higher rank raise.
+        """
+        raise NotImplementedError
+
+    def contains_point(self, p) -> bool:
+        raise NotImplementedError
+
+    def as_slice(self):
+        """Return a basic-indexing key (slice / tuple of slices) if contiguous."""
+        return None
+
+
+@dataclass(frozen=True)
+class RectSubset(IndexSubset):
+    rect: Rect
+
+    @property
+    def empty(self) -> bool:
+        return self.rect.empty
+
+    @property
+    def volume(self) -> int:
+        return self.rect.volume
+
+    def indices(self) -> np.ndarray:
+        if self.rect.ndim != 1:
+            raise ValueError("indices() only supported for 1-D subsets")
+        if self.rect.empty:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(self.rect.lo[0], self.rect.hi[0] + 1, dtype=np.int64)
+
+    def contains_point(self, p) -> bool:
+        return self.rect.contains_point(p)
+
+    def as_slice(self):
+        if self.rect.empty:
+            return tuple(slice(0, 0) for _ in range(self.rect.ndim))
+        key = tuple(slice(l, h + 1) for l, h in zip(self.rect.lo, self.rect.hi))
+        return key[0] if self.rect.ndim == 1 else key
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RectSubset({self.rect})"
+
+
+class ArraySubset(IndexSubset):
+    """An explicit, sorted, duplicate-free set of 1-D indices."""
+
+    __slots__ = ("_idx",)
+
+    def __init__(self, idx: np.ndarray, *, assume_sorted_unique: bool = False):
+        idx = np.asarray(idx, dtype=np.int64).ravel()
+        if not assume_sorted_unique:
+            idx = np.unique(idx)
+        self._idx = idx
+
+    @property
+    def empty(self) -> bool:
+        return self._idx.size == 0
+
+    @property
+    def volume(self) -> int:
+        return int(self._idx.size)
+
+    def indices(self) -> np.ndarray:
+        return self._idx
+
+    def contains_point(self, p) -> bool:
+        p = _as_point(p)
+        if len(p) != 1:
+            return False
+        pos = np.searchsorted(self._idx, p[0])
+        return pos < self._idx.size and self._idx[pos] == p[0]
+
+    def as_slice(self):
+        if self._idx.size == 0:
+            return slice(0, 0)
+        lo, hi = int(self._idx[0]), int(self._idx[-1])
+        if hi - lo + 1 == self._idx.size:  # contiguous run
+            return slice(lo, hi + 1)
+        return None
+
+    def __eq__(self, other):
+        if isinstance(other, ArraySubset):
+            return np.array_equal(self._idx, other._idx)
+        if isinstance(other, RectSubset):
+            return np.array_equal(self._idx, other.indices())
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - subsets rarely hashed
+        return hash(self._idx.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ArraySubset(n={self._idx.size})"
+
+
+EMPTY = RectSubset(Rect(0, -1))
+
+
+def subset_from_indices(idx: np.ndarray) -> IndexSubset:
+    """Build the tightest subset for a 1-D index array (rect when contiguous)."""
+    idx = np.unique(np.asarray(idx, dtype=np.int64))
+    if idx.size == 0:
+        return EMPTY
+    lo, hi = int(idx[0]), int(idx[-1])
+    if hi - lo + 1 == idx.size:
+        return RectSubset(Rect(lo, hi))
+    return ArraySubset(idx, assume_sorted_unique=True)
+
+
+def union_subsets(subsets: Sequence[IndexSubset]) -> IndexSubset:
+    """Union 1-D subsets, collapsing to a rect when the result is contiguous."""
+    subsets = [s for s in subsets if not s.empty]
+    if not subsets:
+        return EMPTY
+    if len(subsets) == 1:
+        return subsets[0]
+    if all(isinstance(s, RectSubset) for s in subsets):
+        rects = sorted((s.rect for s in subsets), key=lambda r: r.lo[0])
+        lo, hi = rects[0].lo[0], rects[0].hi[0]
+        contiguous = True
+        for r in rects[1:]:
+            if r.lo[0] <= hi + 1:
+                hi = max(hi, r.hi[0])
+            else:
+                contiguous = False
+                break
+        if contiguous:
+            return RectSubset(Rect(lo, hi))
+    return subset_from_indices(np.concatenate([s.indices() for s in subsets]))
+
+
+def subtract_subsets(a: IndexSubset, b: IndexSubset) -> IndexSubset:
+    """Points of ``a`` not in ``b``.
+
+    Exact for 1-D subsets; for multi-dimensional rects the result is ``a``
+    unless ``b`` fully covers it (a conservative approximation — N-D rect
+    differences are not representable as a single subset).
+    """
+    if a.empty:
+        return EMPTY
+    if b.empty:
+        return a
+    if isinstance(a, RectSubset) and a.rect.ndim > 1:
+        if isinstance(b, RectSubset) and b.rect.contains_rect(a.rect):
+            return EMPTY
+        return a
+    ia = a.indices()
+    ib = b.indices() if not (isinstance(b, RectSubset) and b.rect.ndim > 1) else None
+    if ib is None:
+        return a
+    return subset_from_indices(np.setdiff1d(ia, ib, assume_unique=True))
+
+
+def intersect_subsets(a: IndexSubset, b: IndexSubset) -> IndexSubset:
+    if a.empty or b.empty:
+        return EMPTY
+    if isinstance(a, RectSubset) and isinstance(b, RectSubset):
+        r = a.rect.intersection(b.rect)
+        return EMPTY if r.empty else RectSubset(r)
+    ia, ib = a.indices(), b.indices()
+    return subset_from_indices(np.intersect1d(ia, ib, assume_unique=True))

@@ -1,0 +1,42 @@
+"""Alpha-beta network model for the simulated interconnect.
+
+Transfers between processors cost ``alpha + bytes / bandwidth``; the
+bandwidth depends on whether the endpoints share a node (NVLink / shared
+DRAM) or cross the Infiniband fabric.  Parameters default to Lassen:
+EDR Infiniband (~12.5 GB/s per direction, ~1.5 us latency) and NVLink 2.0
+(~75 GB/s between on-node GPUs).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Network"]
+
+
+@dataclass(frozen=True)
+class Network:
+    alpha: float = 1.5e-6  # per-message latency (s)
+    inter_node_bw: float = 12.5e9  # bytes/s over the fabric
+    intra_node_bw: float = 75.0e9  # bytes/s on-node (NVLink / DRAM copy)
+    task_overhead: float = 15e-6  # per-task launch overhead (runtime dispatch)
+    sync_overhead: float = 0.0  # extra per-step synchronization cost
+
+    def transfer_seconds(self, nbytes: float, *, same_node: bool) -> float:
+        if nbytes <= 0:
+            return 0.0
+        bw = self.intra_node_bw if same_node else self.inter_node_bw
+        return self.alpha + nbytes / bw
+
+    @staticmethod
+    def legion() -> "Network":
+        """Legion/GASNet: deferred execution hides synchronization."""
+        return Network(task_overhead=15e-6, sync_overhead=0.0)
+
+    @staticmethod
+    def mpi(ranks_per_step: int = 1) -> "Network":
+        """MPI baselines: bulk-synchronous steps pay a barrier-ish cost that
+        grows (logarithmically) with the rank count."""
+        import math
+
+        sync = 4e-6 * max(1.0, math.log2(max(ranks_per_step, 2)))
+        return Network(task_overhead=2e-6, sync_overhead=sync)

@@ -1,0 +1,200 @@
+"""Regions: multi-dimensional typed arrays over index spaces.
+
+Two flavours matter for SpDISTAL (paper §III-A):
+
+* *value regions* hold primitive data (``crd`` coordinate arrays, ``vals``),
+* *rect regions* hold index spaces as values — each element is an inclusive
+  ``[lo, hi]`` range naming indices of another region.  SpDISTAL stores the
+  ``pos`` array of a Compressed level this way (paper Fig. 7) so that
+  dependent partitioning (``image``/``preimage``) can relate ``pos`` and
+  ``crd`` partitions.
+
+Rect regions are backed by an ``(n, 2)`` int64 array (``[:, 0]`` = lo,
+``[:, 1]`` = hi, inclusive; empty ranges have ``hi < lo``).
+"""
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .index_space import (
+    ArraySubset,
+    IndexSpace,
+    IndexSubset,
+    Rect,
+    RectSubset,
+)
+
+__all__ = ["Region", "RectRegion", "make_pos_region"]
+
+
+class Region:
+    """A field of values over an index space.
+
+    The backing store is a NumPy array with one axis per index-space
+    dimension.  ``subset_view`` returns a view for contiguous (rect) subsets
+    and a gathered copy for irregular subsets — mirroring how a runtime
+    materializes a physical instance for a sub-region.
+    """
+
+    _counter = itertools.count()
+
+    def __init__(
+        self,
+        ispace: IndexSpace,
+        dtype=np.float64,
+        *,
+        data: Optional[np.ndarray] = None,
+        name: str = "",
+    ):
+        self.ispace = ispace
+        if data is not None:
+            data = np.asarray(data)
+            if data.shape != ispace.shape():
+                raise ValueError(
+                    f"data shape {data.shape} != index space shape {ispace.shape()}"
+                )
+            self.data = data
+        else:
+            self.data = np.zeros(ispace.shape(), dtype=dtype)
+        self.uid = next(Region._counter)
+        self.name = name or f"region{self.uid}"
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def subset_nbytes(self, subset: IndexSubset) -> int:
+        return int(subset.volume) * int(self.data.dtype.itemsize) * self._row_width()
+
+    def _row_width(self) -> int:
+        return 1
+
+    def subset_view(self, subset: IndexSubset) -> np.ndarray:
+        """Materialize the values of ``subset`` (view when contiguous)."""
+        key = subset.as_slice()
+        if key is not None:
+            return self.data[key]
+        return self.data[subset.indices()]
+
+    def write_subset(self, subset: IndexSubset, values: np.ndarray) -> None:
+        key = subset.as_slice()
+        if key is not None:
+            self.data[key] = values
+        else:
+            self.data[subset.indices()] = values
+
+    def accumulate_subset(self, subset: IndexSubset, values: np.ndarray) -> None:
+        """Apply a sum-reduction of ``values`` into the subset (Legion redop)."""
+        key = subset.as_slice()
+        if key is not None:
+            self.data[key] += values
+        else:
+            np.add.at(self.data, subset.indices(), values)
+
+    def fill(self, value) -> None:
+        self.data[...] = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Region({self.name}, shape={self.data.shape}, dtype={self.data.dtype})"
+
+
+class RectRegion(Region):
+    """A 1-D region whose values are inclusive ``[lo, hi]`` index ranges."""
+
+    def __init__(self, ispace: IndexSpace, *, data: Optional[np.ndarray] = None, name: str = ""):
+        if ispace.ndim != 1:
+            raise ValueError("RectRegion must be one dimensional")
+        n = ispace.volume
+        if data is not None:
+            data = np.asarray(data, dtype=np.int64)
+            if data.shape != (n, 2):
+                raise ValueError(f"rect data must have shape ({n}, 2), got {data.shape}")
+        else:
+            data = np.zeros((n, 2), dtype=np.int64)
+            data[:, 1] = -1  # all ranges start empty
+        self.ispace = ispace
+        self.data = data
+        self.uid = next(Region._counter)
+        self.name = name or f"rects{self.uid}"
+
+    def _row_width(self) -> int:
+        return 2
+
+    @property
+    def lo(self) -> np.ndarray:
+        return self.data[:, 0]
+
+    @property
+    def hi(self) -> np.ndarray:
+        return self.data[:, 1]
+
+    def range_at(self, i: int) -> Tuple[int, int]:
+        return int(self.data[i, 0]), int(self.data[i, 1])
+
+    def set_range(self, i: int, lo: int, hi: int) -> None:
+        self.data[i, 0] = lo
+        self.data[i, 1] = hi
+
+    def subset_view(self, subset: IndexSubset) -> np.ndarray:
+        key = subset.as_slice()
+        if key is not None:
+            return self.data[key]
+        return self.data[subset.indices()]
+
+    def write_subset(self, subset: IndexSubset, values: np.ndarray) -> None:
+        key = subset.as_slice()
+        if key is not None:
+            self.data[key] = values
+        else:
+            self.data[subset.indices()] = values
+
+    def destination_subset(self, subset: IndexSubset) -> IndexSubset:
+        """Union of the ranges stored at ``subset`` — i.e. ``image`` payload."""
+        rows = self.subset_view(subset)
+        if rows.size == 0:
+            from .index_space import EMPTY
+
+            return EMPTY
+        los, his = rows[:, 0], rows[:, 1]
+        nonempty = his >= los
+        if not nonempty.any():
+            from .index_space import EMPTY
+
+            return EMPTY
+        los, his = los[nonempty], his[nonempty]
+        # Fast path: for monotone pos arrays (CSR) the union is one run.
+        lo, hi = int(los.min()), int(his.max())
+        covered = int((his - los + 1).sum())
+        if covered >= hi - lo + 1:
+            return RectSubset(Rect(lo, hi))
+        pieces = [np.arange(l, h + 1, dtype=np.int64) for l, h in zip(los, his)]
+        from .index_space import subset_from_indices
+
+        return subset_from_indices(np.concatenate(pieces))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RectRegion({self.name}, n={self.data.shape[0]})"
+
+
+def make_pos_region(counts_or_bounds: Union[np.ndarray, list], name: str = "pos") -> RectRegion:
+    """Build a ``pos`` region from per-entry non-zero counts.
+
+    ``pos[i] = [start_i, start_i + count_i - 1]`` with ``start`` the exclusive
+    prefix sum of counts — the rect encoding of the classic CSR ``pos`` array.
+    """
+    counts = np.asarray(counts_or_bounds, dtype=np.int64)
+    if counts.ndim == 2:  # already (n, 2) bounds
+        isp = IndexSpace(counts.shape[0], name=f"{name}_ispace")
+        return RectRegion(isp, data=counts, name=name)
+    starts = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    data = np.stack([starts[:-1], starts[1:] - 1], axis=1)
+    isp = IndexSpace(counts.size, name=f"{name}_ispace")
+    return RectRegion(isp, data=data, name=name)

@@ -1,0 +1,383 @@
+"""The simulated Legion runtime: index task launches over partitioned regions.
+
+Execution is sequential but *logically distributed*: every task runs on the
+sub-regions its region requirements name, and the runtime performs the same
+bookkeeping Legion's mapper would — tracking which processor memories hold
+valid copies of which sub-regions, moving missing data (and charging the
+network model for it), applying reduction privileges, and enforcing memory
+capacities (GPU OOM → DNC entries in the paper's Fig. 11).
+
+The numerical work itself happens inside the task body on NumPy views; the
+task returns a :class:`~repro.legion.machine.Work` record from which the
+roofline model derives per-processor compute time.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import OOMError
+from .index_space import (
+    EMPTY,
+    IndexSubset,
+    intersect_subsets,
+    subtract_subsets,
+    union_subsets,
+)
+from .machine import Machine, Processor, Work
+from .metrics import ExecutionMetrics, StepMetrics
+from .network import Network
+from .partition import Partition
+from .region import Region
+
+__all__ = ["Privilege", "RegionReq", "Runtime"]
+
+Color = Hashable
+
+
+class Privilege(Enum):
+    READ_ONLY = "ro"
+    READ_WRITE = "rw"
+    WRITE_DISCARD = "wd"
+    REDUCE = "red"
+
+
+@dataclass
+class RegionReq:
+    """One region requirement of an index launch.
+
+    ``partition`` maps each launch color to the sub-region that point task
+    touches; ``None`` means every task reads the whole region (a broadcast).
+    ``streamed`` requirements are communicated in memory-sized rounds and
+    never kept resident — the memory-conserving schedule of the paper's
+    "SpDISTAL-Batched" SpMM, which trades extra messages for fitting in
+    GPU memory.
+    """
+
+    region: Region
+    partition: Optional[Partition]
+    privilege: Privilege = Privilege.READ_ONLY
+    streamed: bool = False
+
+    def subset_for(self, color: Color) -> IndexSubset:
+        if self.partition is None:
+            return self.region.ispace.full_subset()
+        return self.partition[color]
+
+
+class _Residency:
+    """Which subsets of one region are valid in each processor's memory."""
+
+    def __init__(self):
+        self.by_proc: Dict[int, List[IndexSubset]] = {}
+
+    def covered_volume(self, proc: int, needed: IndexSubset) -> int:
+        pieces = self.by_proc.get(proc, [])
+        if not pieces or needed.empty:
+            return 0
+        overlaps = [intersect_subsets(p, needed) for p in pieces]
+        return union_subsets(overlaps).volume
+
+    def missing_subset(self, proc: int, needed: IndexSubset) -> IndexSubset:
+        pieces = self.by_proc.get(proc, [])
+        if needed.empty:
+            return EMPTY
+        if not pieces:
+            return needed
+        covered = union_subsets([intersect_subsets(p, needed) for p in pieces])
+        return subtract_subsets(needed, covered)
+
+    def add(self, proc: int, subset: IndexSubset) -> None:
+        if subset.empty:
+            return
+        self.by_proc.setdefault(proc, []).append(subset)
+
+    def invalidate_others(self, writer: int, subset: IndexSubset) -> None:
+        for proc, pieces in self.by_proc.items():
+            if proc == writer:
+                continue
+            kept = [p for p in pieces if intersect_subsets(p, subset).empty]
+            self.by_proc[proc] = kept
+
+    def resident_bytes(self, proc: int, itemsize: int, row_width: int) -> float:
+        pieces = self.by_proc.get(proc, [])
+        if not pieces:
+            return 0.0
+        return float(union_subsets(pieces).volume) * itemsize * row_width
+
+
+class Runtime:
+    """Launches index tasks over a :class:`Machine` and accounts their cost."""
+
+    def __init__(self, machine: Machine, network: Optional[Network] = None):
+        self.machine = machine
+        self.network = network if network is not None else Network.legion()
+        self.metrics = ExecutionMetrics()
+        self._residency: Dict[int, _Residency] = {}
+        self._home: Dict[int, List[Tuple[IndexSubset, int]]] = {}
+
+    # -- data placement -----------------------------------------------------
+    def place(
+        self,
+        region: Region,
+        partition: Partition,
+        proc_map: Optional[Callable[[Color], int]] = None,
+    ) -> None:
+        """Declare the initial distribution of a region (its home placement)."""
+        res = self._residency.setdefault(region.uid, _Residency())
+        homes = self._home.setdefault(region.uid, [])
+        for i, (color, subset) in enumerate(partition.items()):
+            proc = proc_map(color) if proc_map else self._default_proc(color, i)
+            res.add(proc, subset)
+            homes.append((subset, proc))
+        self._check_capacity_all(region)
+
+    def place_replicated(self, region: Region) -> None:
+        """Place a full valid copy of the region on every processor."""
+        res = self._residency.setdefault(region.uid, _Residency())
+        full = region.ispace.full_subset()
+        homes = self._home.setdefault(region.uid, [])
+        for p in range(self.machine.size):
+            res.add(p, full)
+            homes.append((full, p))
+        self._check_capacity_all(region)
+
+    def place_on(self, region: Region, proc: int) -> None:
+        """Place the whole region on a single processor."""
+        res = self._residency.setdefault(region.uid, _Residency())
+        full = region.ispace.full_subset()
+        res.add(proc, full)
+        self._home.setdefault(region.uid, []).append((full, proc))
+
+    def _default_proc(self, color: Color, ordinal: int) -> int:
+        if isinstance(color, (int, np.integer)):
+            return int(color) % self.machine.size
+        if isinstance(color, tuple):
+            # row-major linearization of grid colors
+            idx = 0
+            for c, d in zip(color, self.machine.grid.dims):
+                idx = idx * d + int(c)
+            return idx % self.machine.size
+        return ordinal % self.machine.size
+
+    def _owner_of(self, region: Region, needed: IndexSubset, requester: int) -> int:
+        homes = self._home.get(region.uid, [])
+        best, best_overlap = 0, -1
+        for subset, proc in homes:
+            ov = intersect_subsets(subset, needed).volume
+            if ov > best_overlap:
+                best, best_overlap = proc, ov
+        return best
+
+    # -- launches -------------------------------------------------------------
+    def index_launch(
+        self,
+        name: str,
+        colors: Sequence[Color],
+        task: Callable[[Color], Union[Work, Tuple[Work, float]]],
+        reqs: Sequence[RegionReq] = (),
+        *,
+        proc_map: Optional[Callable[[Color], int]] = None,
+        scratch_bytes: Optional[Callable[[Color], float]] = None,
+    ) -> StepMetrics:
+        """Launch one task per color; returns per-step metrics.
+
+        For every color the runtime (1) resolves each region requirement to a
+        sub-region, (2) moves any part not valid in the target memory,
+        charging the alpha-beta model, (3) runs the task body and converts its
+        returned :class:`Work` to seconds, and (4) applies write/reduction
+        coherence.  Reduction requirements additionally charge the cost of
+        sending each non-owner's partial back to the sub-region's home.
+        """
+        step = self.metrics.new_step(name)
+        for ordinal, color in enumerate(colors):
+            proc = proc_map(color) if proc_map else self._default_proc(color, ordinal)
+            self._stage_inputs(step, color, proc, reqs)
+            if scratch_bytes is not None:
+                self._check_scratch(proc, scratch_bytes(color), reqs, color)
+            result = task(color)
+            work = result[0] if isinstance(result, tuple) else result
+            step.add_compute(proc, self.machine.proc(proc).seconds_for(work))
+            step.tasks_launched += 1
+            self._apply_outputs(step, color, proc, reqs)
+        return step
+
+    # -- staging ---------------------------------------------------------------
+    def _stage_inputs(
+        self, step: StepMetrics, color: Color, proc: int, reqs: Sequence[RegionReq]
+    ) -> None:
+        for req in reqs:
+            if req.privilege not in (Privilege.READ_ONLY, Privilege.READ_WRITE):
+                continue
+            needed = req.subset_for(color)
+            if needed.empty:
+                continue
+            res = self._residency.setdefault(req.region.uid, _Residency())
+            if req.streamed:
+                # Stream in rounds sized to a fraction of device memory;
+                # nothing stays resident, so the full volume is re-sent on
+                # every trial (extra messages vs a one-shot gather).
+                nbytes = (
+                    needed.volume
+                    * req.region.data.dtype.itemsize
+                    * req.region._row_width()
+                )
+                chunk = 0.2 * self.machine.proc(proc).mem_bytes
+                rounds = max(1, int(np.ceil(nbytes / max(chunk, 1.0))))
+                src = self._owner_of(req.region, needed, proc)
+                for _ in range(rounds):
+                    step.comm_events.append(
+                        _comm(src, proc, nbytes / rounds, self.machine,
+                              f"stream {req.region.name}")
+                    )
+                continue
+            missing = res.missing_subset(proc, needed)
+            if not missing.empty:
+                itembytes = req.region.data.dtype.itemsize * req.region._row_width()
+                remaining = missing
+                homes = self._home.get(req.region.uid, [])
+                for subset, home_proc in homes:
+                    if home_proc == proc or remaining.empty:
+                        continue
+                    got = intersect_subsets(subset, remaining)
+                    if got.empty:
+                        continue
+                    step.comm_events.append(
+                        _comm(home_proc, proc, got.volume * itembytes,
+                              self.machine, f"stage {req.region.name}")
+                    )
+                    remaining = subtract_subsets(remaining, got)
+                if not remaining.empty and homes:
+                    # No registered home covers it (e.g. freshly written
+                    # data) — pull from the best-overlap owner.
+                    src = self._owner_of(req.region, needed, proc)
+                    if src != proc:
+                        step.comm_events.append(
+                            _comm(src, proc, remaining.volume * itembytes,
+                                  self.machine, f"stage {req.region.name}")
+                        )
+                res.add(proc, needed)
+                self._check_capacity(req.region, proc)
+
+    def _apply_outputs(
+        self, step: StepMetrics, color: Color, proc: int, reqs: Sequence[RegionReq]
+    ) -> None:
+        for req in reqs:
+            needed = req.subset_for(color)
+            if needed.empty:
+                continue
+            res = self._residency.setdefault(req.region.uid, _Residency())
+            if req.privilege in (Privilege.WRITE_DISCARD, Privilege.READ_WRITE):
+                res.invalidate_others(proc, needed)
+                res.add(proc, needed)
+            elif req.privilege == Privilege.REDUCE:
+                # Only the part of this piece's contribution that aliases
+                # sub-regions homed on *other* processors crosses the network
+                # (Legion applies reductions where the data lives; interior
+                # rows of a non-zero split never move).
+                homes = self._home.get(req.region.uid, [])
+                sent: Dict[int, float] = {}
+                for subset, home_proc in homes:
+                    if home_proc == proc:
+                        continue
+                    overlap = intersect_subsets(subset, needed)
+                    if overlap.empty:
+                        continue
+                    nbytes = (
+                        overlap.volume
+                        * req.region.data.dtype.itemsize
+                        * req.region._row_width()
+                    )
+                    sent[home_proc] = max(sent.get(home_proc, 0.0), nbytes)
+                for home_proc, nbytes in sent.items():
+                    step.comm_events.append(
+                        _comm(
+                            proc, home_proc, nbytes, self.machine,
+                            f"reduce {req.region.name}",
+                        )
+                    )
+
+    # -- explicit copies (the `communicate` command lowers to these) -----------
+    def copy_subset(
+        self,
+        step: StepMetrics,
+        region: Region,
+        subset: IndexSubset,
+        dst_proc: int,
+        *,
+        reason: str = "copy",
+    ) -> None:
+        if subset.empty:
+            return
+        res = self._residency.setdefault(region.uid, _Residency())
+        covered = res.covered_volume(dst_proc, subset)
+        missing = subset.volume - covered
+        if missing <= 0:
+            return
+        src = self._owner_of(region, subset, dst_proc)
+        nbytes = missing * region.data.dtype.itemsize * region._row_width()
+        step.comm_events.append(_comm(src, dst_proc, nbytes, self.machine, reason))
+        res.add(dst_proc, subset)
+        self._check_capacity(region, dst_proc)
+
+    # -- capacity ---------------------------------------------------------------
+    def _check_capacity(self, region: Region, proc: int) -> None:
+        p = self.machine.proc(proc)
+        total = 0.0
+        for uid, res in self._residency.items():
+            pieces = res.by_proc.get(proc)
+            if pieces:
+                total += sum(s.volume for s in pieces) * 8.0  # approx itemsize
+        if total > p.mem_bytes:
+            raise OOMError(proc, total, p.mem_bytes, what=f"staging {region.name}")
+
+    def _check_capacity_all(self, region: Region) -> None:
+        for proc in {pr for res in self._residency.values() for pr in res.by_proc}:
+            self._check_capacity(region, proc)
+
+    def _check_scratch(
+        self, proc: int, scratch: float, reqs: Sequence[RegionReq], color: Color
+    ) -> None:
+        p = self.machine.proc(proc)
+        resident = sum(
+            req.subset_for(color).volume
+            * req.region.data.dtype.itemsize
+            * req.region._row_width()
+            for req in reqs
+        )
+        if resident + scratch > p.mem_bytes:
+            raise OOMError(proc, resident + scratch, p.mem_bytes, what="task scratch")
+
+    # -- cache control --------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop every staged copy, keeping only home placements.
+
+        Called between timed trials: data that was *distributed* stays put,
+        but copies created by staging (broadcasts, halo pulls) are dropped so
+        each trial pays the communication its algorithm inherently performs.
+        """
+        self._residency = {}
+        for uid, homes in self._home.items():
+            res = self._residency.setdefault(uid, _Residency())
+            for subset, proc in homes:
+                res.add(proc, subset)
+
+    # -- results ------------------------------------------------------------------
+    def simulated_seconds(self) -> float:
+        return self.metrics.simulated_seconds(self.network)
+
+    def reset_metrics(self) -> ExecutionMetrics:
+        out = self.metrics
+        self.metrics = ExecutionMetrics()
+        return out
+
+
+def _comm(src: int, dst: int, nbytes: float, machine: Machine, reason: str):
+    from .metrics import CommEvent
+
+    if src == dst:
+        nbytes = 0.0
+    return CommEvent(src, dst, nbytes, machine.same_node(src, dst), reason)

@@ -1,0 +1,50 @@
+"""TACO substrate: tensor index notation, sparse formats, scheduling.
+
+Reimplements the parts of TACO (Kjolstad et al., OOPSLA'17) that SpDISTAL
+builds on: the format language with Dense/Compressed level formats
+(Chou et al.), tensor packing into the coordinate-tree encoding, tensor
+index notation, and the sparse iteration-space scheduling transformations
+(Senanayake et al.).
+"""
+from .index_vars import DistVar, IndexVar, dist_vars, index_vars
+from .expr import Access, Add, Assignment, IndexExpr, Literal, Mul
+from .formats import (
+    CSC,
+    CSF3,
+    CSR,
+    DDC,
+    DENSE_MATRIX,
+    DENSE_VECTOR,
+    SPARSE_VECTOR,
+    Compressed,
+    Dense,
+    Format,
+    LevelFormat,
+    dense_format,
+)
+from .tensor import CompressedLevel, DenseLevel, Tensor
+from .reference import evaluate, evaluate_expr, var_sizes
+from .coord_tree import CoordTree, tree_partition_from_level
+from .schedule import (
+    CPUThread,
+    FuseRel,
+    GPUBlock,
+    GPUThread,
+    ParallelUnit,
+    PosRel,
+    Schedule,
+    SplitRel,
+)
+
+__all__ = [
+    "DistVar", "IndexVar", "dist_vars", "index_vars",
+    "Access", "Add", "Assignment", "IndexExpr", "Literal", "Mul",
+    "CSC", "CSF3", "CSR", "DDC", "DENSE_MATRIX", "DENSE_VECTOR",
+    "SPARSE_VECTOR", "Compressed", "Dense", "Format", "LevelFormat",
+    "dense_format",
+    "CompressedLevel", "DenseLevel", "Tensor",
+    "evaluate", "evaluate_expr", "var_sizes",
+    "CoordTree", "tree_partition_from_level",
+    "CPUThread", "FuseRel", "GPUBlock", "GPUThread", "ParallelUnit",
+    "PosRel", "Schedule", "SplitRel",
+]

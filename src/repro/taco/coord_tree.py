@@ -1,0 +1,134 @@
+"""Explicit coordinate trees (paper Fig. 7) for inspection and testing.
+
+A tensor's coordinate tree has one level per stored dimension plus a root;
+each root-to-leaf path is a stored coordinate.  SpDISTAL's partitioning is
+*defined* on coordinate trees (paper §IV-A): partitioning one level induces
+partitions of the levels above (each parent colored with its children's
+colors) and below (children inherit their parent's color).  The compiler
+operates on the packed level arrays; this module provides the tree-side
+semantics the tests compare against.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+__all__ = ["CoordNode", "CoordTree", "tree_partition_from_level"]
+
+
+@dataclass
+class CoordNode:
+    coord: Optional[int]  # None for the root
+    level: int  # root = -1
+    position: int  # index of this entry within its level (storage order)
+    children: List["CoordNode"] = field(default_factory=list)
+    value: Optional[float] = None  # leaves only
+
+    def paths(self) -> List[Tuple[Tuple[int, ...], float]]:
+        if not self.children:
+            return [((), self.value if self.value is not None else 0.0)]
+        out = []
+        for c in self.children:
+            for coords, v in c.paths():
+                out.append(((c.coord, *coords), v))
+        return out
+
+
+class CoordTree:
+    """Coordinate tree built from a packed tensor."""
+
+    def __init__(self, root: CoordNode, num_levels: int):
+        self.root = root
+        self.num_levels = num_levels
+
+    @staticmethod
+    def from_tensor(tensor) -> "CoordTree":
+        coords, vals = tensor.to_coo()
+        # reorder to storage order
+        stored = [coords[m] for m in tensor.format.mode_ordering]
+        order = len(stored)
+        root = CoordNode(None, -1, 0)
+        n = vals.size
+        position_counters = [0] * order
+        # nnz arrive sorted lexicographically by construction
+        path_nodes: List[CoordNode] = [root] * (order + 1)
+        prev = [None] * order
+        for t in range(n):
+            # find first level where the coordinate differs from the previous path
+            split = 0
+            while split < order and prev[split] == stored[split][t]:
+                split += 1
+            for l in range(split, order):
+                node = CoordNode(int(stored[l][t]), l, position_counters[l])
+                position_counters[l] += 1
+                path_nodes[l].children.append(node)
+                path_nodes[l + 1] = node
+                prev[l] = int(stored[l][t])
+                for l2 in range(l + 1, order):
+                    prev[l2] = None
+            path_nodes[order].value = float(vals[t])
+        return CoordTree(root, order)
+
+    def level_nodes(self, level: int) -> List[CoordNode]:
+        """All nodes of a level, in storage (position) order."""
+        out: List[CoordNode] = []
+
+        def walk(n: CoordNode):
+            if n.level == level:
+                out.append(n)
+                return
+            for c in n.children:
+                walk(c)
+
+        walk(self.root)
+        return sorted(out, key=lambda n: n.position)
+
+    def paths(self) -> List[Tuple[Tuple[int, ...], float]]:
+        return self.root.paths()
+
+
+def tree_partition_from_level(
+    tree: CoordTree, level: int, level_colors: Dict[int, Set[int]]
+) -> List[Dict[int, Set[int]]]:
+    """Propagate a coloring of one level to the whole tree (paper §IV-A).
+
+    ``level_colors`` maps a node position at ``level`` to its set of colors.
+    Children inherit their parent's colors; parents gain the union of their
+    children's colors (so nodes may end up with several colors, as in
+    Fig. 8b).  Returns one position→colors dict per level.
+    """
+    out: List[Dict[int, Set[int]]] = [dict() for _ in range(tree.num_levels)]
+
+    def down(node: CoordNode, colors: Set[int]):
+        if node.level >= 0:
+            out[node.level].setdefault(node.position, set()).update(colors)
+        for c in node.children:
+            if node.level + 1 == level:
+                base = set(level_colors.get(c.position, set()))
+            elif node.level >= level:
+                base = colors
+            else:
+                base = set()
+            down(c, base)
+
+    def up(node: CoordNode) -> Set[int]:
+        if node.level == level:
+            mine = set(level_colors.get(node.position, set()))
+            out[level].setdefault(node.position, set()).update(mine)
+            return mine
+        gathered: Set[int] = set()
+        for c in node.children:
+            gathered |= up(c)
+        if node.level >= 0:
+            out[node.level].setdefault(node.position, set()).update(gathered)
+        return gathered
+
+    down(self_or_root(tree), set())
+    up(self_or_root(tree))
+    return out
+
+
+def self_or_root(tree: CoordTree) -> CoordNode:
+    return tree.root

@@ -1,0 +1,61 @@
+"""Index variables for tensor index notation and distribution notation.
+
+``IndexVar`` names a loop in tensor index notation (paper §II-A);
+``DistVar`` names a tensor/machine dimension in tensor distribution
+notation (paper §II-B).  Scheduling transformations derive new index
+variables from old ones (split/fuse/pos), recorded by the schedule's
+provenance relations.
+"""
+from __future__ import annotations
+
+import itertools
+from typing import Tuple
+
+__all__ = ["IndexVar", "DistVar", "index_vars", "dist_vars"]
+
+
+class IndexVar:
+    """A named index variable; identity-compared so shadowed names stay distinct."""
+
+    _counter = itertools.count()
+
+    def __init__(self, name: str = ""):
+        self.uid = next(IndexVar._counter)
+        self.name = name or f"i{self.uid}"
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+
+class DistVar:
+    """A distribution-notation variable naming a tensor or machine dimension."""
+
+    _counter = itertools.count()
+
+    def __init__(self, name: str = ""):
+        self.uid = next(DistVar._counter)
+        self.name = name or f"x{self.uid}"
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+
+def index_vars(names: str) -> Tuple[IndexVar, ...]:
+    """``i, j, k = index_vars("i j k")`` convenience constructor."""
+    return tuple(IndexVar(n) for n in names.replace(",", " ").split())
+
+
+def dist_vars(names: str) -> Tuple[DistVar, ...]:
+    return tuple(DistVar(n) for n in names.replace(",", " ").split())

@@ -1,0 +1,87 @@
+"""Reference evaluator for tensor index notation.
+
+Densifies every operand and evaluates the expression tree with NumPy
+broadcasting, summing over reduction variables.  Exact but O(universe) in
+memory — used as ground truth in tests and by baselines' verification, not
+on large tensors.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .expr import Access, Add, Assignment, IndexExpr, Literal, Mul
+from .index_vars import IndexVar
+
+__all__ = ["evaluate", "evaluate_expr", "var_sizes"]
+
+
+def var_sizes(assignment: Assignment) -> Dict[IndexVar, int]:
+    """Infer every index variable's extent from the accesses using it."""
+    sizes: Dict[IndexVar, int] = {}
+    for acc in assignment.accesses():
+        for iv, dim in zip(acc.indices, acc.tensor.shape):
+            if iv in sizes and sizes[iv] != dim:
+                raise ValueError(
+                    f"index {iv.name} used with extents {sizes[iv]} and {dim}"
+                )
+            sizes[iv] = dim
+    return sizes
+
+
+def _align(
+    array: np.ndarray, vars_in: Tuple[IndexVar, ...], vars_out: List[IndexVar]
+) -> np.ndarray:
+    """Transpose/expand ``array`` (indexed by vars_in) to the vars_out axes."""
+    perm = [vars_in.index(v) for v in vars_out if v in vars_in]
+    arr = np.transpose(array, perm) if perm else array
+    shape = []
+    k = 0
+    for v in vars_out:
+        if v in vars_in:
+            shape.append(arr.shape[k])
+            k += 1
+        else:
+            shape.append(1)
+    return arr.reshape(shape)
+
+
+def evaluate_expr(
+    expr: IndexExpr, vars_out: List[IndexVar], sizes: Dict[IndexVar, int]
+) -> np.ndarray:
+    if isinstance(expr, Literal):
+        return np.full([1] * max(len(vars_out), 1), expr.value)
+    if isinstance(expr, Access):
+        return _align(expr.tensor.to_dense(), expr.indices, vars_out)
+    if isinstance(expr, Mul):
+        out = None
+        for op in expr.operands:
+            v = evaluate_expr(op, vars_out, sizes)
+            out = v if out is None else out * v
+        return out
+    if isinstance(expr, Add):
+        out = None
+        for op in expr.operands:
+            v = evaluate_expr(op, vars_out, sizes)
+            v = np.broadcast_to(v, tuple(sizes[x] for x in vars_out)) if vars_out else v
+            out = v.copy() if out is None else out + v
+        return out
+    raise TypeError(f"cannot evaluate {type(expr).__name__}")
+
+
+def evaluate(assignment: Assignment) -> np.ndarray:
+    """Evaluate a TIN statement; returns the dense result (LHS-shaped)."""
+    sizes = var_sizes(assignment)
+    all_vars = list(assignment.lhs.indices) + [
+        v for v in assignment.reduction_vars
+    ]
+    rhs = evaluate_expr(assignment.rhs, all_vars, sizes)
+    rhs = np.broadcast_to(rhs, tuple(sizes[v] for v in all_vars))
+    n_red = len(assignment.reduction_vars)
+    if n_red:
+        rhs = rhs.sum(axis=tuple(range(len(all_vars) - n_red, len(all_vars))))
+    out = np.asarray(rhs, dtype=assignment.lhs.tensor.dtype).copy()
+    if assignment.accumulate:
+        out = out + assignment.lhs.tensor.to_dense()
+    return out

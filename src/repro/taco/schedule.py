@@ -1,0 +1,293 @@
+"""The scheduling language (paper §II-C).
+
+SpDISTAL composes TACO's sparse iteration-space transformations
+(``split``/``divide``/``fuse``/``pos``/``reorder``/``parallelize``/
+``precompute``, Senanayake et al.) with DISTAL's distributed commands
+(``distribute``/``communicate``).  A :class:`Schedule` records the loop
+order, the provenance relations between derived and original index
+variables, and the distribution directives; the compiler (``repro.core``)
+interprets it.
+
+The non-zero-based SpMV from §II-D looks like::
+
+    s = (a.schedule()
+          .fuse(i, j, f)
+          .pos(f, fp, B[i, j])
+          .divide(fp, fo, fi, pieces)
+          .distribute(fo)
+          .communicate([a, B, c], fo)
+          .parallelize(fi, CPUThread))
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ScheduleError
+from .expr import Access, Assignment
+from .index_vars import IndexVar
+
+__all__ = [
+    "ParallelUnit",
+    "CPUThread",
+    "GPUThread",
+    "GPUBlock",
+    "SplitRel",
+    "FuseRel",
+    "PosRel",
+    "Schedule",
+]
+
+
+class ParallelUnit(Enum):
+    CPUThread = "CPUThread"
+    GPUThread = "GPUThread"
+    GPUBlock = "GPUBlock"
+
+
+CPUThread = ParallelUnit.CPUThread
+GPUThread = ParallelUnit.GPUThread
+GPUBlock = ParallelUnit.GPUBlock
+
+
+@dataclass(frozen=True)
+class SplitRel:
+    """``parent = outer * chunk + inner``.
+
+    ``split`` fixes the inner extent to ``factor``; ``divide`` fixes the
+    *outer* extent to ``factor`` pieces of ``ceil(N / factor)`` each.
+    """
+
+    parent: IndexVar
+    outer: IndexVar
+    inner: IndexVar
+    factor: int
+    is_divide: bool
+
+
+@dataclass(frozen=True)
+class FuseRel:
+    """``fused = a * extent(b) + b`` — collapses two adjacent loops."""
+
+    a: IndexVar
+    b: IndexVar
+    fused: IndexVar
+
+
+@dataclass(frozen=True)
+class PosRel:
+    """Switch ``coord_var`` to the position space of ``access``'s tensor.
+
+    Iteration runs over the non-zero positions of the level that stores the
+    innermost dimension covered by ``coord_var`` (Senanayake et al. §3.3),
+    enabling statically load-balanced non-zero strip-mining.
+    """
+
+    coord_var: IndexVar
+    pos_var: IndexVar
+    access: Access
+
+
+Relation = Union[SplitRel, FuseRel, PosRel]
+
+
+class Schedule:
+    """A scheduled tensor index notation statement."""
+
+    def __init__(self, assignment: Assignment):
+        self.assignment = assignment
+        self.loop_order: List[IndexVar] = list(assignment.index_vars())
+        self.relations: List[Relation] = []
+        self.distributed: List[IndexVar] = []
+        self.communicated: Dict[IndexVar, List] = {}
+        self.parallelized: Dict[IndexVar, ParallelUnit] = {}
+        self.precomputed: List[Tuple] = []
+
+    # ------------------------------------------------------------------ #
+    # transformations (all chainable)
+    # ------------------------------------------------------------------ #
+    def split(
+        self, i: IndexVar, outer: IndexVar, inner: IndexVar, factor: int
+    ) -> "Schedule":
+        """Strip-mine ``i`` into ``outer`` and ``inner`` of extent ``factor``."""
+        self._replace(i, [outer, inner])
+        self.relations.append(SplitRel(i, outer, inner, int(factor), is_divide=False))
+        return self
+
+    def divide(
+        self, i: IndexVar, outer: IndexVar, inner: IndexVar, pieces: int
+    ) -> "Schedule":
+        """Break ``i`` into ``pieces`` contiguous chunks (outer = chunk id)."""
+        if pieces <= 0:
+            raise ScheduleError(f"divide needs a positive piece count, got {pieces}")
+        self._replace(i, [outer, inner])
+        self.relations.append(SplitRel(i, outer, inner, int(pieces), is_divide=True))
+        return self
+
+    def fuse(self, i: IndexVar, j: IndexVar, fused: IndexVar) -> "Schedule":
+        """Collapse adjacent loops ``i`` (outer) and ``j`` into ``fused``."""
+        pi, pj = self._position(i), self._position(j)
+        if pj != pi + 1:
+            raise ScheduleError(
+                f"fuse requires {i.name} directly outside {j.name}; "
+                f"loop order is {[v.name for v in self.loop_order]}"
+            )
+        self.loop_order[pi : pj + 1] = [fused]
+        self.relations.append(FuseRel(i, j, fused))
+        return self
+
+    def pos(self, i: IndexVar, pos_var: IndexVar, access: Access) -> "Schedule":
+        """Iterate ``i`` over the non-zero positions of ``access``'s tensor."""
+        self._replace(i, [pos_var])
+        if access.tensor.format.is_all_dense():
+            raise ScheduleError(
+                f"pos({i.name}) requires a sparse access, {access.tensor.name} is dense"
+            )
+        self.relations.append(PosRel(i, pos_var, access))
+        return self
+
+    def reorder(self, *vars: IndexVar) -> "Schedule":
+        """Permute the given loops among the positions they occupy."""
+        if len({id(v) for v in vars}) != len(vars):
+            raise ScheduleError("reorder arguments must be distinct")
+        positions = sorted(self._position(v) for v in vars)
+        for p, v in zip(positions, vars):
+            self.loop_order[p] = v
+        return self
+
+    def distribute(self, vars: Union[IndexVar, Sequence[IndexVar]]) -> "Schedule":
+        """Execute iterations of the target loop(s) on different processors."""
+        if isinstance(vars, IndexVar):
+            vars = [vars]
+        for v in vars:
+            self._position(v)  # validates membership
+            if v in self.distributed:
+                raise ScheduleError(f"{v.name} is already distributed")
+            self.distributed.append(v)
+        return self
+
+    def communicate(self, tensors, i: IndexVar) -> "Schedule":
+        """Fetch each tensor's needed sub-tensor at iterations of loop ``i``."""
+        self._position(i)
+        if not isinstance(tensors, (list, tuple)):
+            tensors = [tensors]
+        stmt_tensors = {id(t) for t in self.assignment.tensors()}
+        for t in tensors:
+            if id(t) not in stmt_tensors:
+                raise ScheduleError(f"{t.name} does not appear in the statement")
+        self.communicated.setdefault(i, []).extend(tensors)
+        return self
+
+    def parallelize(self, i: IndexVar, unit: ParallelUnit = CPUThread) -> "Schedule":
+        self._position(i)
+        self.parallelized[i] = unit
+        return self
+
+    def precompute(self, expr, i: IndexVar, iw: IndexVar, workspace=None) -> "Schedule":
+        """Hoist ``expr`` into a workspace (recorded; leaves exploit it)."""
+        self._position(i)
+        self.precomputed.append((expr, i, iw, workspace))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # provenance queries (used by the distributed compiler)
+    # ------------------------------------------------------------------ #
+    def _position(self, v: IndexVar) -> int:
+        try:
+            return self.loop_order.index(v)
+        except ValueError:
+            raise ScheduleError(
+                f"{v.name} is not a loop of the scheduled statement "
+                f"(loops: {[x.name for x in self.loop_order]})"
+            ) from None
+
+    def _replace(self, old: IndexVar, new: List[IndexVar]) -> None:
+        p = self._position(old)
+        self.loop_order[p : p + 1] = new
+
+    def parents_of(self, v: IndexVar) -> List[IndexVar]:
+        """Immediate provenance parents of a derived variable."""
+        for rel in self.relations:
+            if isinstance(rel, SplitRel) and v in (rel.outer, rel.inner):
+                return [rel.parent]
+            if isinstance(rel, FuseRel) and v is rel.fused:
+                return [rel.a, rel.b]
+            if isinstance(rel, PosRel) and v is rel.pos_var:
+                return [rel.coord_var]
+        return []
+
+    def underlying_vars(self, v: IndexVar) -> List[IndexVar]:
+        """Original statement variables a derived variable ranges over."""
+        parents = self.parents_of(v)
+        if not parents:
+            return [v]
+        out: List[IndexVar] = []
+        for p in parents:
+            for u in self.underlying_vars(p):
+                if u not in out:
+                    out.append(u)
+        return out
+
+    def pos_relation_of(self, v: IndexVar) -> Optional[PosRel]:
+        """The PosRel governing ``v``, if ``v`` derives from a position var."""
+        for rel in self.relations:
+            if isinstance(rel, PosRel) and v is rel.pos_var:
+                return rel
+            if isinstance(rel, SplitRel) and v in (rel.outer, rel.inner):
+                return self.pos_relation_of(rel.parent)
+            if isinstance(rel, FuseRel) and v is rel.fused:
+                ra = self.pos_relation_of(rel.a)
+                return ra if ra is not None else self.pos_relation_of(rel.b)
+        return None
+
+    def is_position_var(self, v: IndexVar) -> bool:
+        """Position (non-zero) iteration vs coordinate (universe) iteration."""
+        return self.pos_relation_of(v) is not None
+
+    def divide_rel_of(self, v: IndexVar) -> Optional[SplitRel]:
+        for rel in self.relations:
+            if isinstance(rel, SplitRel) and v is rel.outer:
+                return rel
+        return None
+
+    def pieces_of(self, v: IndexVar) -> int:
+        """Number of pieces a distributed variable ranges over."""
+        rel = self.divide_rel_of(v)
+        if rel is not None and rel.is_divide:
+            return rel.factor
+        raise ScheduleError(
+            f"distributed variable {v.name} must come from divide(...) "
+            "so the piece count is static"
+        )
+
+    def fused_extents(self, v: IndexVar, sizes: Dict[IndexVar, int]) -> int:
+        """Extent of (possibly fused/derived) coordinate variable ``v``."""
+        for rel in self.relations:
+            if isinstance(rel, FuseRel) and v is rel.fused:
+                return self.fused_extents(rel.a, sizes) * self.fused_extents(rel.b, sizes)
+            if isinstance(rel, SplitRel) and v is rel.inner:
+                if rel.is_divide:
+                    n = self.fused_extents(rel.parent, sizes)
+                    return -(-n // rel.factor)
+                return rel.factor
+            if isinstance(rel, SplitRel) and v is rel.outer:
+                n = self.fused_extents(rel.parent, sizes)
+                if rel.is_divide:
+                    return rel.factor
+                return -(-n // rel.factor)
+        if v in sizes:
+            return sizes[v]
+        raise ScheduleError(f"cannot determine extent of {v.name}")
+
+    def leaf_parallel_unit(self) -> Optional[ParallelUnit]:
+        for unit in self.parallelized.values():
+            return unit
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Schedule({self.assignment!r}; loops="
+            f"{[v.name for v in self.loop_order]}, "
+            f"distributed={[v.name for v in self.distributed]})"
+        )

@@ -1,0 +1,162 @@
+"""Harness tests: every kernel runner computes the right answer and the
+scaled machine model behaves sanely."""
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.bench import (
+    BenchConfig,
+    ctf_run,
+    default_config,
+    geomean,
+    petsc_run,
+    shifted,
+    spdistal_sddmm,
+    spdistal_spadd3,
+    spdistal_spmm,
+    spdistal_spmttkrp,
+    spdistal_spmv,
+    spdistal_spttv,
+    trilinos_run,
+)
+from repro.data import load_tensor
+from repro.data.matrices import banded
+
+rng = np.random.default_rng(17)
+CFG = default_config(dataset_scale=0.15)
+
+
+@pytest.fixture(scope="module")
+def mat():
+    return sp.random(400, 400, density=0.04, random_state=rng, format="csr")
+
+
+class TestModels:
+    def test_scaled_node_rates(self):
+        cfg = BenchConfig(rate_scale=1e-4)
+        assert cfg.node.core_flops == pytest.approx(8.0e9 * 1e-4)
+        assert cfg.node.gpu_mem_bytes == pytest.approx(16 * 1024**3 * 1e-4)
+
+    def test_latencies_not_scaled(self):
+        cfg = BenchConfig(rate_scale=1e-4)
+        assert cfg.legion_network().alpha == pytest.approx(1.5e-6)
+        assert cfg.mpi_network(80).sync_overhead > 0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert np.isnan(geomean([float("nan")]))
+
+
+class TestSpdistalRunners:
+    def test_spmv_correct(self, mat):
+        x = rng.random(400)
+        r = spdistal_spmv(mat, x, 4, CFG)
+        assert r.ok
+        assert np.allclose(r.value, mat @ x)
+
+    def test_spmv_nonzero_strategy(self, mat):
+        x = rng.random(400)
+        r = spdistal_spmv(mat, x, 4, CFG, strategy="nonzeros")
+        assert np.allclose(r.value, mat @ x)
+
+    def test_spmv_gpu(self, mat):
+        x = rng.random(400)
+        r = spdistal_spmv(mat, x, 0, CFG, gpus=4)
+        assert r.ok and np.allclose(r.value, mat @ x)
+
+    def test_spmm_all_strategies(self, mat):
+        C = rng.random((400, 8))
+        for strat in ("rows", "nonzeros", "batched"):
+            r = spdistal_spmm(mat, C, 2, CFG, strategy=strat) if strat == "rows" \
+                else spdistal_spmm(mat, C, 0, CFG, gpus=4, strategy=strat)
+            if r.ok:
+                assert np.allclose(r.value, mat @ C), strat
+
+    def test_spadd3_correct(self, mat):
+        B, C, D = mat, shifted(mat, 1), shifted(mat, 2)
+        r = spdistal_spadd3(B, C, D, 2, CFG)
+        assert np.allclose(r.value.to_dense(), (B + C + D).toarray())
+
+    def test_sddmm_correct(self, mat):
+        C = rng.random((400, 8))
+        D = rng.random((8, 400))
+        r = spdistal_sddmm(mat, C, D, 2, CFG)
+        assert np.allclose(r.value.to_dense(), mat.multiply(C @ D).toarray())
+
+    def test_spttv_correct(self):
+        T = load_tensor("nell-2", 0.15, CFG.seed)
+        x = rng.random(T.shape[2])
+        r = spdistal_spttv(T, x, 2, CFG)
+        expected = np.einsum("ijk,k->ij", T.to_dense(), x)
+        assert np.allclose(r.value.to_dense(), expected)
+
+    def test_spttv_patents_ddc(self):
+        T = load_tensor("patents", 0.15, CFG.seed)
+        x = rng.random(T.shape[2])
+        r = spdistal_spttv(T, x, 2, CFG)
+        expected = np.einsum("ijk,k->ij", T.to_dense(), x)
+        assert np.allclose(np.asarray(r.value.to_dense()), expected)
+
+    def test_spmttkrp_correct(self):
+        T = load_tensor("nell-2", 0.15, CFG.seed)
+        C = rng.random((T.shape[1], 5))
+        D = rng.random((T.shape[2], 5))
+        r = spdistal_spmttkrp(T, C, D, 2, CFG)
+        expected = np.einsum("ijk,jl,kl->il", T.to_dense(), C, D)
+        assert np.allclose(r.value, expected)
+
+    def test_shifted_preserves_nnz(self, mat):
+        assert shifted(mat, 3).nnz == mat.nnz
+
+
+class TestCrossSystemAgreement:
+    def test_all_systems_same_spmv_answer(self, mat):
+        x = rng.random(400)
+        sd = spdistal_spmv(mat, x, 2, CFG)
+        pe = petsc_run("spmv", (mat, x), 2, CFG)
+        tr = trilinos_run("spmv", (mat, x), 2, CFG)
+        cf = ctf_run("spmv", (mat, x), 2, CFG)
+        for r in (pe, tr, cf):
+            assert np.allclose(r.value, sd.value)
+
+    def test_ctf_interpretation_much_slower(self, mat):
+        x = rng.random(400)
+        sd = spdistal_spmv(mat, x, 2, CFG)
+        cf = ctf_run("spmv", (mat, x), 2, CFG)
+        assert cf.seconds > 10 * sd.seconds  # 1-2 orders in the paper
+
+    def test_petsc_competitive_on_spmv(self, mat):
+        x = rng.random(400)
+        sd = spdistal_spmv(mat, x, 2, CFG)
+        pe = petsc_run("spmv", (mat, x), 2, CFG)
+        assert pe.seconds < 10 * sd.seconds  # same ballpark
+
+    def test_fused_add_beats_baselines(self, mat):
+        B, C, D = mat, shifted(mat, 1), shifted(mat, 2)
+        sd = spdistal_spadd3(B, C, D, 2, CFG)
+        pe = petsc_run("spadd3", (B, C, D), 2, CFG)
+        tr = trilinos_run("spadd3", (B, C, D), 2, CFG)
+        assert sd.seconds < pe.seconds < tr.seconds
+
+
+class TestScalingShape:
+    def test_strong_scaling_improves(self, mat):
+        x = rng.random(400)
+        t1 = spdistal_spmv(mat, x, 1, CFG).seconds
+        t4 = spdistal_spmv(mat, x, 4, CFG).seconds
+        assert t4 < t1
+
+    def test_weak_scaling_flat(self):
+        unit = 3000
+        times = []
+        for nodes in (1, 4):
+            A = banded(unit * nodes, 5, seed=1)
+            x = np.ones(unit * nodes)
+            times.append(spdistal_spmv(A, x, nodes, CFG).seconds)
+        assert times[1] == pytest.approx(times[0], rel=0.25)
+
+    def test_gpu_oom_reports_dnc(self, mat):
+        tiny = BenchConfig(rate_scale=1e-7, dataset_scale=0.15)
+        r = spdistal_spmm(mat, rng.random((400, 8)), 0, tiny, gpus=1,
+                          strategy="nonzeros")
+        assert r.oom and not r.ok

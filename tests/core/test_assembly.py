@@ -1,0 +1,64 @@
+"""Sparse output assembly tests (paper §V-B)."""
+import numpy as np
+import pytest
+
+from repro.core import adopt_pattern, install_assembled_output, scan_counts
+from repro.core.assembly import pattern_source
+from repro.errors import CompileError
+from repro.taco import CSF3, CSR, Tensor, index_vars
+
+rng = np.random.default_rng(3)
+
+
+def rand_csr(n=10, m=8, name="B"):
+    dense = rng.random((n, m)) * (rng.random((n, m)) < 0.4)
+    return Tensor.from_dense(name, dense, CSR)
+
+
+class TestAdoptPattern:
+    def test_shares_metadata_and_zeroes_vals(self):
+        B = rand_csr()
+        A = Tensor.zeros("A", (10, 8), CSR)
+        adopt_pattern(A, B, keep_levels=2)
+        assert A.levels[1] is B.levels[1]
+        assert A.vals.ispace.volume == B.nnz
+        assert np.all(A.vals.data == 0)
+
+    def test_spttv_keeps_two_of_three_levels(self):
+        idx = [rng.integers(0, 5, 30), rng.integers(0, 5, 30), rng.integers(0, 5, 30)]
+        T = Tensor.from_coo("T", idx, np.ones(30), (5, 5, 5), CSF3)
+        A = Tensor.zeros("A", (5, 5), CSR)
+        adopt_pattern(A, T, keep_levels=2)
+        assert len(A.levels) == 2
+        assert A.vals.ispace.volume == T.levels[1].num_positions
+
+    def test_too_many_levels_rejected(self):
+        B = rand_csr()
+        A = Tensor.zeros("A", (10, 8), CSR)
+        with pytest.raises(CompileError):
+            adopt_pattern(A, B, keep_levels=3)
+
+
+class TestScanAndInstall:
+    def test_scan_counts(self):
+        pos = scan_counts(np.array([2, 0, 3]))
+        assert pos.data.tolist() == [[0, 1], [2, 1], [2, 4]]
+
+    def test_install_assembled_output(self):
+        A = Tensor.zeros("A", (3, 5), CSR)
+        counts = np.array([1, 2, 0])
+        pos, crd, vals = install_assembled_output(A, counts, 5)
+        assert pos.shape == (3, 2)
+        assert crd.shape == (3,)
+        assert vals.shape == (3,)
+        # writable views into the tensor's regions
+        crd[0] = 4
+        vals[0] = 9.0
+        assert A.levels[1].crd.data[0] == 4
+        assert A.vals.data[0] == 9.0
+
+    def test_install_rebuilds_structure(self):
+        A = Tensor.zeros("A", (2, 3), CSR)
+        install_assembled_output(A, np.array([3, 0]), 3)
+        assert A.nnz == 3
+        assert A.levels[1].pos.data.tolist() == [[0, 2], [3, 2]]

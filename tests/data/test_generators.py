@@ -1,0 +1,118 @@
+"""Dataset generator tests: determinism, structure, suite coverage."""
+import numpy as np
+import pytest
+
+from repro.data import SUITE_MATRICES, SUITE_TENSORS, load_matrix, load_tensor, table2
+from repro.data.matrices import (
+    banded,
+    kmer_like,
+    mycielskian,
+    power_law,
+    rmat,
+    stencil_kkt,
+    uniform_random,
+)
+from repro.data.tensors import freebase_like, frostt_like, patents_like
+
+
+class TestMatrixGenerators:
+    def test_banded_structure(self):
+        m = banded(50, bandwidth=2)
+        assert m.shape == (50, 50)
+        coo = m.tocoo()
+        assert np.all(np.abs(coo.row - coo.col) <= 2)
+        # interior rows have the full 5 diagonals
+        assert m[25].nnz == 5
+
+    def test_banded_deterministic(self):
+        a, b = banded(30, seed=1), banded(30, seed=1)
+        assert np.allclose(a.toarray(), b.toarray())
+        assert not np.allclose(a.toarray(), banded(30, seed=2).toarray())
+
+    def test_power_law_skew(self):
+        m = power_law(500, 15000, alpha=1.8, seed=0)
+        deg = np.diff(m.indptr)
+        assert deg.max() > 5 * deg.mean()  # hubs
+        assert 0.5 * 15000 < m.nnz <= 15000 * 1.05
+
+    def test_rmat_shape_power_of_two(self):
+        m = rmat(8, edge_factor=8)
+        assert m.shape == (256, 256)
+        assert m.nnz > 0
+
+    def test_kmer_low_degree(self):
+        m = kmer_like(1000)
+        deg = np.diff(m.indptr)
+        assert deg.max() <= 4
+        assert deg.mean() < 4
+
+    def test_stencil_kkt_constant_degree_and_symmetric_block(self):
+        m = stencil_kkt(5)
+        deg = np.diff(m.indptr)[: 125]  # laplacian block rows
+        assert deg.max() <= 9  # 7-point stencil + constraint coupling
+        assert m.shape[0] == m.shape[1]
+
+    def test_mycielskian_matches_networkx_size(self):
+        m = mycielskian(5)
+        # M2=K2 (2 nodes); each step: 2n+1 nodes
+        assert m.shape[0] == 23
+        assert (m != m.T).nnz == 0  # symmetric adjacency
+
+    def test_uniform_density(self):
+        m = uniform_random(200, 0.05, seed=3)
+        assert abs(m.nnz / 200**2 - 0.05) < 0.01
+
+
+class TestTensorGenerators:
+    def test_frostt_like_shapes(self):
+        coords, vals, shape = frostt_like((50, 40, 30), 500, seed=1)
+        assert shape == (50, 40, 30)
+        for c, s in zip(coords, shape):
+            assert c.min() >= 0 and c.max() < s
+        assert vals.size == len(coords[0])
+
+    def test_freebase_like_skew(self):
+        coords, vals, shape = freebase_like((400, 16, 400), 4000, seed=2)
+        counts = np.bincount(coords[0], minlength=shape[0])
+        assert counts.max() > 5 * max(counts.mean(), 1)
+
+    def test_patents_like_dense_prefix(self):
+        coords, vals, shape = patents_like((4, 50, 50), 3000, seed=3)
+        # nearly all (i, j) pairs populated -> dense-prefix format justified
+        pairs = len(set(zip(coords[0].tolist(), coords[1].tolist())))
+        assert pairs > 0.8 * shape[0] * shape[1]
+
+    def test_no_duplicate_coordinates(self):
+        coords, vals, shape = frostt_like((30, 30, 30), 2000, seed=4)
+        keys = coords[0] * 900 + coords[1] * 30 + coords[2]
+        assert np.unique(keys).size == keys.size
+
+
+class TestSuite:
+    def test_table2_has_all_entries(self):
+        rows = table2(scale=0.2)
+        assert len(rows) == len(SUITE_MATRICES) + len(SUITE_TENSORS)
+        assert all(nnz > 0 for _, _, nnz, _ in rows)
+
+    @pytest.mark.parametrize("name", list(SUITE_MATRICES))
+    def test_each_matrix_loads(self, name):
+        m = load_matrix(name, scale=0.2)
+        assert m.nnz > 0
+        assert m.shape[0] > 1
+
+    @pytest.mark.parametrize("name", list(SUITE_TENSORS))
+    def test_each_tensor_loads(self, name):
+        t = load_tensor(name, scale=0.2)
+        assert t.nnz > 0
+        assert t.order == 3
+        assert t.format == SUITE_TENSORS[name].format
+
+    def test_deterministic_given_seed(self):
+        a = load_matrix("arabic-2005", 0.2, seed=7)
+        b = load_matrix("arabic-2005", 0.2, seed=7)
+        assert np.allclose(a.toarray(), b.toarray())
+
+    def test_scale_changes_size(self):
+        small = load_matrix("arabic-2005", 0.2).nnz
+        large = load_matrix("arabic-2005", 0.5).nnz
+        assert large > small

@@ -1,0 +1,81 @@
+"""Matrix Market / FROSTT I/O tests."""
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.data import read_matrix_market, read_tns, write_matrix_market, write_tns
+from repro.taco import CSF3, CSR, Tensor
+
+rng = np.random.default_rng(13)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path):
+        m = sp.random(20, 15, density=0.2, random_state=rng, format="csr")
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, m)
+        got = read_matrix_market(path)
+        assert np.allclose(got.toarray(), m.toarray())
+
+    def test_gzip_roundtrip(self, tmp_path):
+        m = sp.random(10, 10, density=0.3, random_state=rng, format="csr")
+        path = tmp_path / "m.mtx.gz"
+        write_matrix_market(path, m)
+        assert np.allclose(read_matrix_market(path).toarray(), m.toarray())
+
+    def test_symmetric_mirrored(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n1 1 2.0\n2 1 5.0\n3 3 1.0\n"
+        )
+        got = read_matrix_market(path).toarray()
+        assert got[0, 1] == 5.0 and got[1, 0] == 5.0
+        assert got[0, 0] == 2.0  # diagonal not doubled
+
+    def test_pattern_matrices_get_unit_values(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+        )
+        got = read_matrix_market(path).toarray()
+        assert got[0, 0] == 1.0 and got[1, 1] == 1.0
+
+    def test_rejects_non_mm(self, tmp_path):
+        path = tmp_path / "x.mtx"
+        path.write_text("garbage\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+
+class TestTns:
+    def test_roundtrip(self, tmp_path):
+        idx = [rng.integers(0, 8, 40) for _ in range(3)]
+        T = Tensor.from_coo("T", idx, rng.random(40) + 0.5, (8, 8, 8), CSF3)
+        path = tmp_path / "t.tns"
+        write_tns(path, T)
+        got = read_tns(path, shape=(8, 8, 8), format=CSF3)
+        assert np.allclose(got.to_dense(), T.to_dense())
+
+    def test_shape_inferred(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("1 1 1 2.0\n3 2 4 1.0\n")
+        got = read_tns(path)
+        assert got.shape == (3, 2, 4)
+
+    def test_matrix_tns(self, tmp_path):
+        path = tmp_path / "m.tns"
+        path.write_text("1 2 5.0\n2 1 3.0\n")
+        got = read_tns(path, format=CSR)
+        assert got.to_dense()[0, 1] == 5.0
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "e.tns"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_tns(path)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.tns"
+        path.write_text("# header\n1 1 1.0\n")
+        assert read_tns(path).nnz == 1

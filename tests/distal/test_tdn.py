@@ -1,0 +1,81 @@
+"""Tensor distribution notation tests (paper §II-B, Figs. 4-5)."""
+import pytest
+
+from repro.distal import TDN, Distribution, MachineDimRef, nz, parse_tdn
+from repro.errors import FormatError
+from repro.taco import dist_vars
+
+
+class TestParser:
+    def test_row_wise(self):
+        t = parse_tdn("B(x, y) -> M(x)")
+        assert t.tensor_dims == ("x", "y")
+        assert t.machine_dims == (MachineDimRef("x"),)
+        assert t.matched_dims() == [(0, MachineDimRef("x"), [0])]
+
+    def test_juxtaposed_letters(self):
+        t = parse_tdn("T(xy) -> M(x)")
+        assert t.tensor_dims == ("x", "y")
+
+    def test_nonzero_vector_fig5b(self):
+        t = parse_tdn("T(x) -> M(~x)")
+        assert t.machine_dims[0].nonzero
+
+    def test_fused_fig5c(self):
+        t = parse_tdn("B(x, y) [x y -> f] -> M(~f)")
+        assert t.fusions == {"f": ("x", "y")}
+        assert t.modes_of("f") == [0, 1]
+
+    def test_replication_fig4a_style(self):
+        t = parse_tdn("c(x) -> M(y)")
+        assert t.matched_dims() == []
+        assert t.replication_dims() == [0]
+
+    def test_2d_machine(self):
+        t = parse_tdn("T(x, y) -> M(x, y)")
+        assert len(t.machine_dims) == 2
+        assert len(t.matched_dims()) == 2
+
+    def test_three_way_fusion(self):
+        t = parse_tdn("T(x,y,z) [x y z -> f] -> M(~f)")
+        assert t.modes_of("f") == [0, 1, 2]
+
+    def test_partial_fusion(self):
+        t = parse_tdn("T(x,y,z) [x y -> f] -> M(~f)")
+        assert t.modes_of("f") == [0, 1]
+
+    def test_unparseable(self):
+        with pytest.raises(FormatError):
+            parse_tdn("not a tdn statement")
+
+    def test_tilde_unknown_dim_rejected(self):
+        with pytest.raises(FormatError):
+            parse_tdn("B(x, y) -> M(~q)")
+
+    def test_fusion_unknown_dim_rejected(self):
+        with pytest.raises(FormatError):
+            parse_tdn("B(x, y) [x q -> f] -> M(~f)")
+
+    def test_repr_roundtrip(self):
+        t = parse_tdn("B(x, y) [x y -> f] -> M(~f)")
+        t2 = parse_tdn(repr(t).replace("T(", "B("))
+        assert t2.fusions == t.fusions
+        assert t2.machine_dims == t.machine_dims
+
+
+class TestDistributionConstructor:
+    def test_fig1_style(self):
+        x, y = dist_vars("x y")
+        t = Distribution([x, y], None, [x])
+        assert t.tensor_dims == ("x", "y")
+        assert t.matched_dims()[0][2] == [0]
+
+    def test_nz_marker(self):
+        x, = dist_vars("x")
+        t = Distribution([x], None, [nz(x)])
+        assert t.machine_dims[0].nonzero
+
+    def test_fusion_kwarg(self):
+        x, y, f = dist_vars("x y f")
+        t = Distribution([x, y], None, [nz(f)], fuse={f: [x, y]})
+        assert t.modes_of("f") == [0, 1]

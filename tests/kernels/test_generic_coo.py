@@ -1,0 +1,138 @@
+"""Generic COO engine tests, incl. a property check against dense evaluation."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import coo_of_access, evaluate_generic
+from repro.taco import CSR, Tensor, evaluate, index_vars, var_sizes
+
+rng = np.random.default_rng(23)
+
+
+def sparse(n, m, density, name):
+    dense = rng.random((n, m)) * (rng.random((n, m)) < density)
+    return Tensor.from_dense(name, dense, CSR), dense
+
+
+def densify(result, shape):
+    out = np.zeros(shape)
+    if result.nnz:
+        np.add.at(out, tuple(result.coords), result.vals)
+    return out
+
+
+class TestCooOfAccess:
+    def test_materializes_coo(self):
+        B, Bd = sparse(5, 4, 0.5, "B")
+        i, j = index_vars("i j")
+        data = coo_of_access(B[i, j])
+        assert data.vars == (i, j)
+        assert data.nnz == B.nnz
+
+    def test_restrict_filters(self):
+        B, Bd = sparse(6, 6, 0.8, "B")
+        i, j = index_vars("i j")
+        data = coo_of_access(B[i, j], {i: (2, 3)})
+        assert np.all((data.coords[0] >= 2) & (data.coords[0] <= 3))
+
+
+class TestEvaluateGeneric:
+    def test_two_sparse_contraction(self):
+        B, Bd = sparse(6, 5, 0.4, "B")
+        C, Cd = sparse(7, 5, 0.4, "C")
+        A = Tensor.zeros("A", (6, 7))
+        i, j, k = index_vars("i j k")
+        A[i, j] = B[i, k] * C[j, k]
+        res, work = evaluate_generic(A.assignment, var_sizes(A.assignment))
+        assert np.allclose(densify(res, (6, 7)), Bd @ Cd.T)
+        assert work.flops > 0
+
+    def test_three_way_chain(self):
+        B, Bd = sparse(4, 5, 0.5, "B")
+        C, Cd = sparse(5, 6, 0.5, "C")
+        D, Dd = sparse(6, 3, 0.5, "D")
+        A = Tensor.zeros("A", (4, 3))
+        i, j, k, l = index_vars("i j k l")
+        A[i, l] = B[i, j] * C[j, k] * D[k, l]
+        res, _ = evaluate_generic(A.assignment, var_sizes(A.assignment))
+        assert np.allclose(densify(res, (4, 3)), Bd @ Cd @ Dd)
+
+    def test_elementwise_add(self):
+        B, Bd = sparse(4, 4, 0.4, "B")
+        C, Cd = sparse(4, 4, 0.4, "C")
+        A = Tensor.zeros("A", (4, 4), CSR)
+        i, j = index_vars("i j")
+        A[i, j] = B[i, j] + C[i, j]
+        res, _ = evaluate_generic(A.assignment, var_sizes(A.assignment))
+        assert np.allclose(densify(res, (4, 4)), Bd + Cd)
+
+    def test_outer_product(self):
+        u = Tensor.from_dense("u", rng.random(3))
+        v = Tensor.from_dense("v", rng.random(4))
+        A = Tensor.zeros("A", (3, 4))
+        i, j = index_vars("i j")
+        A[i, j] = u[i] * v[j]
+        res, _ = evaluate_generic(A.assignment, var_sizes(A.assignment))
+        assert np.allclose(densify(res, (3, 4)),
+                           np.outer(u.dense_array(), v.dense_array()))
+
+    def test_full_reduction_to_vector(self):
+        B, Bd = sparse(5, 6, 0.5, "B")
+        a = Tensor.zeros("a", (5,))
+        i, j = index_vars("i j")
+        a[i] = B[i, j]
+        res, _ = evaluate_generic(a.assignment, var_sizes(a.assignment))
+        assert np.allclose(densify(res, (5,)), Bd.sum(axis=1))
+
+    def test_restricted_pieces_compose(self):
+        B, Bd = sparse(8, 6, 0.5, "B")
+        c = Tensor.from_dense("c", rng.random(6))
+        a = Tensor.zeros("a", (8,))
+        i, j = index_vars("i j")
+        a[i] = B[i, j] * c[j]
+        sizes = var_sizes(a.assignment)
+        total = np.zeros(8)
+        for lo, hi in [(0, 3), (4, 7)]:
+            res, _ = evaluate_generic(a.assignment, sizes, {i: (lo, hi)})
+            total += densify(res, (8,))
+        assert np.allclose(total, Bd @ c.dense_array())
+
+
+@st.composite
+def small_statement(draw):
+    n = draw(st.integers(2, 5))
+    m = draw(st.integers(2, 5))
+    k = draw(st.integers(2, 5))
+    seed = draw(st.integers(0, 2**31))
+    form = draw(st.sampled_from(["matmul", "elemwise", "spmv_like"]))
+    return n, m, k, seed, form
+
+
+class TestGenericMatchesReference:
+    @given(small_statement())
+    @settings(max_examples=40, deadline=None)
+    def test_against_dense_reference(self, case):
+        n, m, k, seed, form = case
+        r = np.random.default_rng(seed)
+
+        def mk(name, shape, density=0.6):
+            dense = r.random(shape) * (r.random(shape) < density)
+            return Tensor.from_dense(name, dense, CSR)
+
+        i, j, kk = index_vars("i j k")
+        if form == "matmul":
+            B, C = mk("B", (n, k)), mk("C", (k, m))
+            A = Tensor.zeros("A", (n, m))
+            A[i, j] = B[i, kk] * C[kk, j]
+        elif form == "elemwise":
+            B, C = mk("B", (n, m)), mk("C", (n, m))
+            A = Tensor.zeros("A", (n, m), CSR)
+            A[i, j] = B[i, j] + C[i, j]
+        else:
+            B, C = mk("B", (n, m)), mk("c", (n, m))
+            A = Tensor.zeros("A", (n, n))
+            A[i, j] = B[i, kk] * C[j, kk]
+        expected = evaluate(A.assignment)
+        res, _ = evaluate_generic(A.assignment, var_sizes(A.assignment))
+        assert np.allclose(densify(res, expected.shape), expected, atol=1e-12)

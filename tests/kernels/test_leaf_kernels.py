@@ -1,0 +1,258 @@
+"""Leaf kernel tests: vectorized kernels vs loop references vs SciPy."""
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.kernels import (
+    sddmm_nonzeros,
+    sddmm_reference,
+    spadd3_fill,
+    spadd3_symbolic,
+    spmm_nonzeros,
+    spmm_rows,
+    spmm_rows_reference,
+    spmttkrp_csf,
+    spmttkrp_ddc,
+    spmttkrp_reference,
+    spmv_nonzeros,
+    spmv_rows,
+    spmv_rows_reference,
+    spttv_fibers,
+    spttv_nonzeros,
+    spttv_reference,
+)
+from repro.legion import make_pos_region
+from repro.taco import CSF3, CSR, DDC, Tensor
+
+rng = np.random.default_rng(11)
+
+
+@pytest.fixture
+def csr_case():
+    n, m = 30, 24
+    M = sp.random(n, m, density=0.2, random_state=rng, format="csr")
+    # ensure an empty row and an empty trailing row exist
+    M = M.tolil()
+    M[3, :] = 0
+    M[n - 1, :] = 0
+    M = M.tocsr()
+    M.eliminate_zeros()
+    B = Tensor.from_scipy("B", M, CSR)
+    pos, crd, vals = B.csr_arrays()
+    return M, pos, crd, vals
+
+
+class TestSpMV:
+    def test_rows_match_scipy(self, csr_case):
+        M, pos, crd, vals = csr_case
+        x = rng.random(M.shape[1])
+        out = np.zeros(M.shape[0])
+        spmv_rows(pos, crd, vals, x, out, 0, M.shape[0] - 1)
+        assert np.allclose(out, M @ x)
+
+    def test_rows_match_reference(self, csr_case):
+        M, pos, crd, vals = csr_case
+        x = rng.random(M.shape[1])
+        out_v = np.zeros(M.shape[0])
+        out_r = np.zeros(M.shape[0])
+        spmv_rows(pos, crd, vals, x, out_v, 5, 20)
+        spmv_rows_reference(pos, crd, vals, x, out_r, 5, 20)
+        assert np.allclose(out_v, out_r)
+
+    def test_nonzeros_pieces_sum(self, csr_case):
+        M, pos, crd, vals = csr_case
+        x = rng.random(M.shape[1])
+        out = np.zeros(M.shape[0])
+        third = M.nnz // 3
+        spmv_nonzeros(pos, crd, vals, x, out, 0, third)
+        spmv_nonzeros(pos, crd, vals, x, out, third + 1, 2 * third)
+        spmv_nonzeros(pos, crd, vals, x, out, 2 * third + 1, M.nnz - 1)
+        assert np.allclose(out, M @ x)
+
+    def test_empty_piece_zero_work(self, csr_case):
+        M, pos, crd, vals = csr_case
+        x = rng.random(M.shape[1])
+        out = np.zeros(M.shape[0])
+        w = spmv_rows(pos, crd, vals, x, out, 5, 4)
+        assert w.flops == 0
+
+    def test_empty_row_range(self, csr_case):
+        M, pos, crd, vals = csr_case
+        x = rng.random(M.shape[1])
+        out = np.ones(M.shape[0])
+        spmv_rows(pos, crd, vals, x, out, 3, 3)  # the empty row
+        assert out[3] == 0.0
+
+    def test_work_counts_nnz(self, csr_case):
+        M, pos, crd, vals = csr_case
+        x = rng.random(M.shape[1])
+        out = np.zeros(M.shape[0])
+        w = spmv_rows(pos, crd, vals, x, out, 0, M.shape[0] - 1)
+        assert w.flops == 2.0 * M.nnz
+
+
+class TestSpMM:
+    def test_rows(self, csr_case):
+        M, pos, crd, vals = csr_case
+        C = rng.random((M.shape[1], 7))
+        out = np.zeros((M.shape[0], 7))
+        spmm_rows(pos, crd, vals, C, out, 0, M.shape[0] - 1)
+        assert np.allclose(out, M @ C)
+
+    def test_rows_vs_reference(self, csr_case):
+        M, pos, crd, vals = csr_case
+        C = rng.random((M.shape[1], 4))
+        a = np.zeros((M.shape[0], 4))
+        b = np.zeros((M.shape[0], 4))
+        spmm_rows(pos, crd, vals, C, a, 2, 18)
+        spmm_rows_reference(pos, crd, vals, C, b, 2, 18)
+        assert np.allclose(a[2:19], b[2:19])
+
+    def test_nonzeros(self, csr_case):
+        M, pos, crd, vals = csr_case
+        C = rng.random((M.shape[1], 7))
+        out = np.zeros((M.shape[0], 7))
+        half = M.nnz // 2
+        spmm_nonzeros(pos, crd, vals, C, out, 0, half)
+        spmm_nonzeros(pos, crd, vals, C, out, half + 1, M.nnz - 1)
+        assert np.allclose(out, M @ C)
+
+
+class TestSDDMM:
+    def test_matches_dense_formula(self, csr_case):
+        M, pos, crd, vals = csr_case
+        C = rng.random((M.shape[0], 5))
+        D = rng.random((5, M.shape[1]))
+        ov = np.zeros(M.nnz)
+        sddmm_nonzeros(pos, crd, vals, C, D, ov, 0, M.nnz - 1)
+        expected = M.multiply(C @ D).tocsr()
+        got = sp.csr_matrix(
+            (ov, crd, np.concatenate([pos[:, 0], [M.nnz]])), shape=M.shape
+        )
+        assert np.allclose(got.toarray(), expected.toarray())
+
+    def test_matches_reference(self, csr_case):
+        M, pos, crd, vals = csr_case
+        C = rng.random((M.shape[0], 5))
+        D = rng.random((5, M.shape[1]))
+        a = np.zeros(M.nnz)
+        b = np.zeros(M.nnz)
+        sddmm_nonzeros(pos, crd, vals, C, D, a, 3, 40)
+        sddmm_reference(pos, crd, vals, C, D, b, 3, 40)
+        assert np.allclose(a[3:41], b[3:41])
+
+
+class TestSpAdd3:
+    def test_two_phase_matches_scipy(self):
+        n, m = 20, 16
+        mats = [
+            sp.random(n, m, density=0.15, random_state=rng, format="csr")
+            for _ in range(3)
+        ]
+        tensors = [Tensor.from_scipy(f"T{i}", M, CSR) for i, M in enumerate(mats)]
+        meta = [(t.levels[1].pos.data, t.levels[1].crd.data) for t in tensors]
+        counts, _ = spadd3_symbolic(meta, m, 0, n - 1)
+        pos = make_pos_region(counts)
+        total = int(counts.sum())
+        crd = np.zeros(total, dtype=np.int64)
+        vals = np.zeros(total)
+        full = [
+            (t.levels[1].pos.data, t.levels[1].crd.data, t.vals.data) for t in tensors
+        ]
+        spadd3_fill(full, m, pos.data, crd, vals, 0, n - 1)
+        expected = (mats[0] + mats[1] + mats[2]).toarray()
+        got = np.zeros((n, m))
+        for r in range(n):
+            for p in range(pos.data[r, 0], pos.data[r, 1] + 1):
+                got[r, crd[p]] = vals[p]
+        assert np.allclose(got, expected)
+
+    def test_symbolic_counts_union(self):
+        a = Tensor.from_dense("a", np.array([[1.0, 0], [0, 2.0]]), CSR)
+        b = Tensor.from_dense("b", np.array([[1.0, 3.0], [0, 0]]), CSR)
+        meta = [(t.levels[1].pos.data, t.levels[1].crd.data) for t in (a, b)]
+        counts, _ = spadd3_symbolic(meta, 2, 0, 1)
+        assert counts.tolist() == [2, 1]
+
+    def test_empty_operands(self):
+        a = Tensor.zeros("a", (3, 3), CSR)
+        meta = [(a.levels[1].pos.data, a.levels[1].crd.data)]
+        counts, _ = spadd3_symbolic(meta, 3, 0, 2)
+        assert counts.tolist() == [0, 0, 0]
+
+
+@pytest.fixture
+def csf_case():
+    shape = (8, 7, 6)
+    idx = [rng.integers(0, s, 120) for s in shape]
+    vals = rng.random(120) + 0.5
+    T = Tensor.from_coo("T", idx, vals, shape, CSF3)
+    return T, T.to_dense()
+
+
+class TestSpTTV:
+    def test_fibers(self, csf_case):
+        T, dense = csf_case
+        x = rng.random(6)
+        nf = T.levels[1].num_positions
+        ov = np.zeros(nf)
+        spttv_fibers(T.levels[2].pos.data, T.levels[2].crd.data, T.vals.data,
+                     x, ov, 0, nf - 1)
+        ref = np.zeros(nf)
+        spttv_reference(T.levels[2].pos.data, T.levels[2].crd.data, T.vals.data,
+                        x, ref, 0, nf - 1)
+        assert np.allclose(ov, ref)
+
+    def test_nonzeros_accumulate(self, csf_case):
+        T, dense = csf_case
+        x = rng.random(6)
+        nf = T.levels[1].num_positions
+        expected = np.zeros(nf)
+        spttv_fibers(T.levels[2].pos.data, T.levels[2].crd.data, T.vals.data,
+                     x, expected, 0, nf - 1)
+        got = np.zeros(nf)
+        half = T.nnz // 2
+        spttv_nonzeros(T.levels[2].pos.data, T.levels[2].crd.data, T.vals.data,
+                       x, got, 0, half)
+        spttv_nonzeros(T.levels[2].pos.data, T.levels[2].crd.data, T.vals.data,
+                       x, got, half + 1, T.nnz - 1)
+        assert np.allclose(got, expected)
+
+
+class TestSpMTTKRP:
+    def test_csf_matches_einsum(self, csf_case):
+        T, dense = csf_case
+        C = rng.random((7, 4))
+        D = rng.random((6, 4))
+        out = np.zeros((8, 4))
+        spmttkrp_csf(T.levels[1].pos.data, T.levels[1].crd.data,
+                     T.levels[2].pos.data, T.levels[2].crd.data, T.vals.data,
+                     C, D, out, 0, T.nnz - 1, accumulate=True)
+        assert np.allclose(out, np.einsum("ijk,jl,kl->il", dense, C, D))
+
+    def test_csf_matches_reference(self, csf_case):
+        T, dense = csf_case
+        C = rng.random((7, 3))
+        D = rng.random((6, 3))
+        a = np.zeros((8, 3))
+        b = np.zeros((8, 3))
+        spmttkrp_csf(T.levels[1].pos.data, T.levels[1].crd.data,
+                     T.levels[2].pos.data, T.levels[2].crd.data, T.vals.data,
+                     C, D, a, 10, 60, accumulate=True)
+        spmttkrp_reference(T.levels[1].pos.data, T.levels[1].crd.data,
+                           T.levels[2].pos.data, T.levels[2].crd.data, T.vals.data,
+                           C, D, b, 10, 60)
+        assert np.allclose(a, b)
+
+    def test_ddc_variant(self):
+        shape = (3, 5, 6)
+        idx = [rng.integers(0, s, 60) for s in shape]
+        vals = rng.random(60) + 0.5
+        T = Tensor.from_coo("T", idx, vals, shape, DDC)
+        dense = T.to_dense()
+        C = rng.random((5, 4))
+        D = rng.random((6, 4))
+        out = np.zeros((3, 4))
+        spmttkrp_ddc(5, T.levels[2].pos.data, T.levels[2].crd.data, T.vals.data,
+                     C, D, out, 0, T.nnz - 1, accumulate=True)
+        assert np.allclose(out, np.einsum("ijk,jl,kl->il", dense, C, D))

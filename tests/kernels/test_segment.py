@@ -1,0 +1,92 @@
+"""Segment primitive tests."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    expand_ranges,
+    piece_range,
+    row_of_positions,
+    segment_sum,
+    segment_sum_matrix,
+)
+
+
+class TestPieceRange:
+    def test_even(self):
+        assert [piece_range(8, 4, c) for c in range(4)] == [
+            (0, 1), (2, 3), (4, 5), (6, 7)
+        ]
+
+    def test_uneven_trailing_empty(self):
+        assert piece_range(4, 3, 2) == (4, 3)  # empty trailing piece
+
+    def test_zero_extent(self):
+        assert piece_range(0, 4, 0) == (0, -1)
+
+    def test_union_covers_everything(self):
+        for n, p in [(10, 3), (7, 7), (5, 8), (100, 16)]:
+            got = set()
+            for c in range(p):
+                lo, hi = piece_range(n, p, c)
+                got.update(range(lo, hi + 1))
+            assert got == set(range(n))
+
+
+class TestRowOfPositions:
+    def test_basic(self):
+        starts = np.array([0, 3, 5, 6])
+        assert row_of_positions(starts, np.array([0, 2, 3, 4, 5, 6, 7])).tolist() == [
+            0, 0, 1, 1, 2, 3, 3
+        ]
+
+    def test_empty_rows_skipped(self):
+        # row 1 empty: starts [0, 2, 2, 5]
+        starts = np.array([0, 2, 2, 5])
+        got = row_of_positions(starts, np.array([1, 2, 4]))
+        assert got.tolist() == [0, 2, 2]
+
+
+class TestExpandRanges:
+    def test_simple(self):
+        got = expand_ranges(np.array([0, 5]), np.array([2, 6]))
+        assert got.tolist() == [0, 1, 2, 5, 6]
+
+    def test_with_empty_ranges(self):
+        got = expand_ranges(np.array([0, 4, 7]), np.array([1, 3, 8]))
+        assert got.tolist() == [0, 1, 7, 8]
+
+    def test_all_empty(self):
+        assert expand_ranges(np.array([3]), np.array([2])).size == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(-1, 8)), max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive(self, spans):
+        lo = np.array([s for s, _ in spans], dtype=np.int64)
+        hi = np.array([s + d for s, d in spans], dtype=np.int64)
+        expected = [p for l, h in zip(lo, hi) for p in range(l, h + 1)]
+        assert expand_ranges(lo, hi).tolist() == expected
+
+
+class TestSegmentSums:
+    def test_segment_sum(self):
+        got = segment_sum(np.array([1.0, 2, 3, 4]), np.array([0, 0, 2, 2]), 3)
+        assert got.tolist() == [3.0, 0.0, 7.0]
+
+    def test_segment_sum_matrix(self):
+        vals = np.arange(8.0).reshape(4, 2)
+        got = segment_sum_matrix(vals, np.array([0, 1, 1, 0]), 2)
+        assert got.tolist() == [[6.0, 8.0], [6.0, 8.0]]
+
+    @given(st.integers(1, 6), st.integers(0, 40), st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_matrix_matches_loop(self, nseg, n, k):
+        rng = np.random.default_rng(0)
+        vals = rng.random((n, k))
+        ids = rng.integers(0, nseg, n)
+        expected = np.zeros((nseg, k))
+        for t in range(n):
+            expected[ids[t]] += vals[t]
+        got = segment_sum_matrix(vals, ids, nseg) if n else np.zeros((nseg, k))
+        assert np.allclose(got, expected)

@@ -1,0 +1,148 @@
+"""Dependent partitioning: image/preimage semantics (paper §III-A, Fig. 6)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.legion import (
+    IndexSpace,
+    Partition,
+    Rect,
+    RectSubset,
+    Region,
+    equal_partition,
+    image,
+    make_pos_region,
+    partition_by_bounds,
+    partition_by_value_ranges,
+    preimage,
+)
+
+
+def fig6_regions():
+    """The example of Fig. 6: S holds ranges naming indices of D (size 8)."""
+    # S entries: {0,2}, {3,4}, {5,5}, {6,8}->clip to {6,7}
+    pos = make_pos_region(np.array([[0, 2], [3, 4], [5, 5], [6, 7]]))
+    dst = Region(IndexSpace(8), np.float64)
+    return pos, dst
+
+
+class TestImage:
+    def test_fig6a_image(self):
+        pos, dst = fig6_regions()
+        ps = Partition(
+            pos.ispace,
+            {0: RectSubset(Rect(0, 1)), 1: RectSubset(Rect(2, 3))},
+        )
+        img = image(pos, ps, dst)
+        assert img[0].indices().tolist() == [0, 1, 2, 3, 4]
+        assert img[1].indices().tolist() == [5, 6, 7]
+
+    def test_image_of_empty_color(self):
+        pos, dst = fig6_regions()
+        ps = Partition(pos.ispace, {0: RectSubset(Rect(0, -1))})
+        assert image(pos, ps, dst)[0].empty
+
+    def test_image_skips_empty_ranges(self):
+        pos = make_pos_region([2, 0, 1])
+        dst = Region(IndexSpace(3))
+        ps = Partition(pos.ispace, {0: RectSubset(Rect(1, 1))})
+        assert image(pos, ps, dst)[0].empty
+
+
+class TestPreimage:
+    def test_fig6b_preimage_aliases(self):
+        pos, dst = fig6_regions()
+        # color D by halves: [0..3] red, [4..7] blue
+        pd = Partition(
+            dst.ispace, {0: RectSubset(Rect(0, 3)), 1: RectSubset(Rect(4, 7))}
+        )
+        pre = preimage(pos, pd, dst)
+        # entry 1 ({3,4}) straddles both halves -> colored twice
+        assert pre[0].indices().tolist() == [0, 1]
+        assert pre[1].indices().tolist() == [1, 2, 3]
+        assert not pre.is_disjoint()
+
+    def test_preimage_excludes_empty_sources(self):
+        pos = make_pos_region([1, 0, 1])
+        dst = Region(IndexSpace(2))
+        pd = Partition(dst.ispace, {0: RectSubset(Rect(0, 1))})
+        pre = preimage(pos, pd, dst)
+        assert pre[0].indices().tolist() == [0, 2]
+
+    def test_preimage_of_array_subset(self):
+        pos, dst = fig6_regions()
+        from repro.legion import ArraySubset
+
+        pd = Partition(dst.ispace, {0: ArraySubset(np.array([5]))})
+        pre = preimage(pos, pd, dst)
+        assert pre[0].indices().tolist() == [2]
+
+
+class TestByBoundsAndValues:
+    def test_by_bounds_clamps(self):
+        isp = IndexSpace(10)
+        p = partition_by_bounds(isp, {0: (-5, 3), 1: (8, 100)})
+        assert p[0].indices().tolist() == [0, 1, 2, 3]
+        assert p[1].indices().tolist() == [8, 9]
+
+    def test_by_value_ranges(self):
+        crd = Region(IndexSpace(6), np.int64, data=np.array([0, 5, 2, 5, 1, 3]))
+        p = partition_by_value_ranges(crd, {0: (0, 2), 1: (3, 5)})
+        assert p[0].indices().tolist() == [0, 2, 4]
+        assert p[1].indices().tolist() == [1, 3, 5]
+        assert p.is_disjoint() and p.is_complete()
+
+
+@st.composite
+def csr_pos(draw):
+    counts = draw(st.lists(st.integers(0, 5), min_size=1, max_size=12))
+    return make_pos_region(np.array(counts, dtype=np.int64)), int(sum(counts))
+
+
+class TestDependentProperties:
+    @given(csr_pos(), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_image_covers_children_of_colored_parents(self, pc, pieces):
+        pos, total = pc
+        dst = Region(IndexSpace(max(total, 1)))
+        ps = equal_partition(pos.ispace, pieces)
+        img = image(pos, ps, dst)
+        for c in range(pieces):
+            for i in ps[c].indices():
+                lo, hi = pos.range_at(int(i))
+                for p in range(lo, hi + 1):
+                    assert img[c].contains_point(p)
+
+    @given(csr_pos(), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_preimage_of_image_contains_original(self, pc, pieces):
+        """preimage(image(P)) ⊇ P restricted to non-empty sources."""
+        pos, total = pc
+        if total == 0:
+            return
+        dst = Region(IndexSpace(total))
+        ps = equal_partition(pos.ispace, pieces)
+        img = image(pos, ps, dst)
+        pre = preimage(pos, img, dst)
+        for c in range(pieces):
+            for i in ps[c].indices():
+                lo, hi = pos.range_at(int(i))
+                if hi >= lo:  # non-empty sources must be recolored
+                    assert pre[c].contains_point(int(i))
+
+    @given(csr_pos(), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_preimage_exactness(self, pc, pieces):
+        """Every preimage-colored source really touches the colored subset."""
+        pos, total = pc
+        if total == 0:
+            return
+        dst = Region(IndexSpace(total))
+        pd = equal_partition(dst.ispace, pieces)
+        pre = preimage(pos, pd, dst)
+        for c in range(pieces):
+            target = pd[c]
+            for i in pre[c].indices():
+                lo, hi = pos.range_at(int(i))
+                assert any(target.contains_point(p) for p in range(lo, hi + 1))

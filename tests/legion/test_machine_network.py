@@ -1,0 +1,92 @@
+"""Machine model and network model tests."""
+import pytest
+
+from repro.legion import Grid, Machine, Network, NodeSpec, ProcKind, Work
+
+
+class TestGrid:
+    def test_1d(self):
+        g = Grid(4)
+        assert g.size == 4 and g.ndim == 1
+        assert list(g.points()) == [(0,), (1,), (2,), (3,)]
+
+    def test_2d(self):
+        g = Grid(2, 3)
+        assert g.size == 6
+        assert (1, 2) in list(g.points())
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Grid()
+        with pytest.raises(ValueError):
+            Grid(0)
+
+
+class TestMachine:
+    def test_cpu_one_rank_per_node(self):
+        m = Machine.cpu(4)
+        assert m.size == 4
+        assert m.n_nodes == 4
+        assert all(p.kind == ProcKind.CPU for p in m.processors)
+        assert m.proc(0).parallel_lanes == 40
+
+    def test_gpu_four_per_node(self):
+        m = Machine.gpu(8)
+        assert m.size == 8
+        assert m.n_nodes == 2
+        assert m.same_node(0, 3)
+        assert not m.same_node(0, 4)
+
+    def test_cpu_cores(self):
+        m = Machine.cpu_cores(2)
+        assert m.size == 80
+        assert m.proc(0).flops == NodeSpec().core_flops
+
+    def test_cpu_sockets(self):
+        m = Machine.cpu_sockets(2)
+        assert m.size == 4
+        assert m.proc(0).parallel_lanes == 20
+
+    def test_named_dims(self):
+        m = Machine(Grid(3, 5))
+        assert m.x == 3 and m.y == 5
+
+    def test_node_aggregates(self):
+        n = NodeSpec()
+        assert n.node_flops() == n.cores * n.core_flops
+        assert n.node_membw() == n.cores * n.core_membw
+
+
+class TestRoofline:
+    def test_memory_bound(self):
+        p = Machine.cpu(1).proc(0)
+        w = Work(flops=1.0, bytes=1e9)
+        assert p.seconds_for(w) == pytest.approx(1e9 / p.membw)
+
+    def test_compute_bound(self):
+        p = Machine.cpu(1).proc(0)
+        w = Work(flops=1e12, bytes=1.0)
+        assert p.seconds_for(w) == pytest.approx(1e12 / p.flops)
+
+    def test_work_addition(self):
+        w = Work(1.0, 2.0) + Work(3.0, 4.0)
+        assert w.flops == 4.0 and w.bytes == 6.0
+        assert Work.zero().flops == 0.0
+
+
+class TestNetwork:
+    def test_transfer_zero_bytes_free(self):
+        n = Network()
+        assert n.transfer_seconds(0, same_node=True) == 0.0
+
+    def test_intra_faster_than_inter(self):
+        n = Network()
+        assert n.transfer_seconds(1e6, same_node=True) < n.transfer_seconds(
+            1e6, same_node=False
+        )
+
+    def test_mpi_sync_grows_with_ranks(self):
+        assert Network.mpi(640).sync_overhead > Network.mpi(2).sync_overhead
+
+    def test_legion_has_no_bulk_sync(self):
+        assert Network.legion().sync_overhead == 0.0

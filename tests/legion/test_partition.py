@@ -1,0 +1,110 @@
+"""Unit tests for partitions and colorings."""
+import numpy as np
+import pytest
+
+from repro.legion import (
+    ArraySubset,
+    Coloring,
+    IndexSpace,
+    Partition,
+    Rect,
+    RectSubset,
+    equal_partition,
+    equal_partition_nd,
+)
+
+
+class TestColoring:
+    def test_set_get(self):
+        c = Coloring()
+        c[0] = (0, 4)
+        c[1] = (5, 9)
+        assert c[0] == (0, 4)
+        assert len(c) == 2
+        assert c.colors() == [0, 1]
+
+
+class TestEqualPartition:
+    def test_exact_division(self):
+        p = equal_partition(IndexSpace(8), 4)
+        assert [p[c].volume for c in range(4)] == [2, 2, 2, 2]
+        assert p.is_disjoint() and p.is_complete()
+
+    def test_uneven_division_matches_fig9b(self):
+        # chunk = ceil(n/pieces); trailing colors may be short or empty
+        p = equal_partition(IndexSpace(10), 4)
+        assert [p[c].volume for c in range(4)] == [3, 3, 3, 1]
+        p2 = equal_partition(IndexSpace(4), 3)
+        assert [p2[c].volume for c in range(3)] == [2, 2, 0]
+
+    def test_more_pieces_than_elements(self):
+        p = equal_partition(IndexSpace(2), 5)
+        vols = [p[c].volume for c in range(5)]
+        assert sum(vols) == 2
+        assert p.is_complete()
+
+    def test_nd(self):
+        p = equal_partition_nd(IndexSpace((4, 6)), (2, 3))
+        assert p.n_colors == 6
+        assert all(s.volume == 4 for _, s in p.items())
+        assert p.is_disjoint() and p.is_complete()
+
+
+class TestPartitionProperties:
+    def test_overlapping_not_disjoint(self):
+        isp = IndexSpace(10)
+        p = Partition(isp, {0: RectSubset(Rect(0, 5)), 1: RectSubset(Rect(5, 9))})
+        assert not p.is_disjoint()
+        assert p.is_complete()
+
+    def test_incomplete(self):
+        isp = IndexSpace(10)
+        p = Partition(isp, {0: RectSubset(Rect(0, 3))})
+        assert not p.is_complete()
+
+    def test_array_subset_disjointness(self):
+        isp = IndexSpace(10)
+        p = Partition(
+            isp,
+            {0: ArraySubset(np.array([0, 2, 4])), 1: ArraySubset(np.array([1, 3]))},
+        )
+        assert p.is_disjoint()
+        p2 = Partition(
+            isp,
+            {0: ArraySubset(np.array([0, 2])), 1: ArraySubset(np.array([2, 3]))},
+        )
+        assert not p2.is_disjoint()
+
+    def test_color_of_point(self):
+        isp = IndexSpace(10)
+        p = Partition(isp, {0: RectSubset(Rect(0, 5)), 1: RectSubset(Rect(4, 9))})
+        assert p.color_of_point(4) == [0, 1]
+        assert p.color_of_point(9) == [1]
+
+    def test_missing_color_is_empty(self):
+        p = equal_partition(IndexSpace(4), 2)
+        assert p[99].empty
+
+    def test_volumes(self):
+        p = equal_partition(IndexSpace(9), 3)
+        assert p.volumes() == {0: 3, 1: 3, 2: 3}
+
+    def test_compose_intersection(self):
+        isp = IndexSpace(10)
+        a = Partition(isp, {0: RectSubset(Rect(0, 6)), 1: RectSubset(Rect(7, 9))})
+        b = Partition(isp, {0: RectSubset(Rect(4, 9)), 1: RectSubset(Rect(0, 9))})
+        both = a.compose_intersection(b)
+        assert both[0].volume == 3  # [4,6]
+        assert both[1].volume == 3  # [7,9]
+
+    def test_scale_dense_rect(self):
+        p = equal_partition(IndexSpace(4), 2)
+        scaled = p.scale_dense(3)
+        assert scaled[0].volume == 6
+        assert scaled[0].indices().tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_scale_dense_array(self):
+        isp = IndexSpace(4)
+        p = Partition(isp, {0: ArraySubset(np.array([0, 2]))})
+        scaled = p.scale_dense(2)
+        assert scaled[0].indices().tolist() == [0, 1, 4, 5]

@@ -1,0 +1,93 @@
+"""Unit tests for regions, including rect-valued pos regions (paper Fig. 7)."""
+import numpy as np
+import pytest
+
+from repro.legion import (
+    ArraySubset,
+    IndexSpace,
+    Rect,
+    RectRegion,
+    RectSubset,
+    Region,
+    make_pos_region,
+)
+
+
+class TestRegion:
+    def test_zeros_by_default(self):
+        r = Region(IndexSpace(4))
+        assert np.all(r.data == 0)
+        assert r.data.shape == (4,)
+
+    def test_nd_region(self):
+        r = Region(IndexSpace((2, 3)))
+        assert r.data.shape == (2, 3)
+        assert r.nbytes == 6 * 8
+
+    def test_data_shape_validation(self):
+        with pytest.raises(ValueError):
+            Region(IndexSpace(4), data=np.zeros(5))
+
+    def test_subset_view_is_view_for_rect(self):
+        r = Region(IndexSpace(6), data=np.arange(6.0))
+        v = r.subset_view(RectSubset(Rect(1, 3)))
+        v[:] = -1
+        assert r.data[1] == -1 and r.data[3] == -1
+
+    def test_subset_view_gather_for_array(self):
+        r = Region(IndexSpace(6), data=np.arange(6.0))
+        v = r.subset_view(ArraySubset(np.array([0, 4])))
+        assert list(v) == [0.0, 4.0]
+
+    def test_write_and_accumulate(self):
+        r = Region(IndexSpace(5))
+        r.write_subset(RectSubset(Rect(0, 1)), np.array([1.0, 2.0]))
+        r.accumulate_subset(ArraySubset(np.array([1, 3])), np.array([10.0, 20.0]))
+        assert list(r.data) == [1.0, 12.0, 0.0, 20.0, 0.0]
+
+    def test_nd_subset_view(self):
+        r = Region(IndexSpace((3, 3)), data=np.arange(9.0).reshape(3, 3))
+        v = r.subset_view(RectSubset(Rect((1, 0), (2, 1))))
+        assert v.shape == (2, 2)
+        assert v[0, 0] == 3.0
+
+
+class TestRectRegion:
+    def test_pos_from_counts(self):
+        # Fig. 7: counts per row of the 4x4 example matrix
+        pos = make_pos_region([3, 2, 1, 2])
+        assert pos.data.tolist() == [[0, 2], [3, 4], [5, 5], [6, 7]]
+
+    def test_empty_rows_have_inverted_ranges(self):
+        pos = make_pos_region([2, 0, 1])
+        assert pos.data.tolist() == [[0, 1], [2, 1], [2, 2]]
+        lo, hi = pos.range_at(1)
+        assert hi < lo  # empty
+
+    def test_from_explicit_bounds(self):
+        pos = make_pos_region(np.array([[0, 1], [2, 3]]))
+        assert pos.range_at(1) == (2, 3)
+
+    def test_destination_subset_contiguous(self):
+        pos = make_pos_region([3, 2, 1, 2])
+        d = pos.destination_subset(RectSubset(Rect(0, 1)))
+        assert isinstance(d, RectSubset)
+        assert d.rect == Rect(0, 4)
+
+    def test_destination_subset_all_empty(self):
+        pos = make_pos_region([0, 0])
+        assert pos.destination_subset(RectSubset(Rect(0, 1))).empty
+
+    def test_destination_subset_with_gaps(self):
+        data = np.array([[0, 1], [5, 6]])
+        pos = make_pos_region(data)
+        d = pos.destination_subset(RectSubset(Rect(0, 1)))
+        assert sorted(d.indices().tolist()) == [0, 1, 5, 6]
+
+    def test_must_be_1d(self):
+        with pytest.raises(ValueError):
+            RectRegion(IndexSpace((2, 2)))
+
+    def test_subset_nbytes_counts_rect_width(self):
+        pos = make_pos_region([1, 1])
+        assert pos.subset_nbytes(RectSubset(Rect(0, 1))) == 2 * 8 * 2

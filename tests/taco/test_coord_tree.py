@@ -1,0 +1,77 @@
+"""Coordinate tree tests (paper Fig. 7 and §IV-A level-partition semantics)."""
+import numpy as np
+
+from repro.taco import CSF3, CSR, CoordTree, Tensor, tree_partition_from_level
+
+
+def fig7_tensor():
+    rows = np.array([0, 0, 0, 1, 1, 2, 3, 3])
+    cols = np.array([0, 1, 3, 1, 3, 0, 0, 3])
+    vals = np.arange(1.0, 9.0)
+    return Tensor.from_coo("B", [rows, cols], vals, (4, 4), CSR)
+
+
+class TestCoordTree:
+    def test_paths_enumerate_nonzeros(self):
+        tree = CoordTree.from_tensor(fig7_tensor())
+        paths = tree.paths()
+        assert len(paths) == 8
+        assert paths[0] == ((0, 0), 1.0)
+        assert paths[-1] == ((3, 3), 8.0)
+
+    def test_level_nodes_fig7(self):
+        tree = CoordTree.from_tensor(fig7_tensor())
+        level0 = tree.level_nodes(0)
+        assert [n.coord for n in level0] == [0, 1, 2, 3]
+        level1 = tree.level_nodes(1)
+        assert [n.coord for n in level1] == [0, 1, 3, 1, 3, 0, 0, 3]
+
+    def test_3tensor_fibers(self):
+        idx = [np.array([0, 0, 1]), np.array([0, 1, 0]), np.array([2, 0, 1])]
+        T = Tensor.from_coo("T", idx, np.ones(3), (2, 2, 3), CSF3)
+        tree = CoordTree.from_tensor(T)
+        assert len(tree.level_nodes(1)) == 3
+        assert len(tree.level_nodes(2)) == 3
+
+
+class TestTreePartitionPropagation:
+    def test_downward_inheritance_fig8a(self):
+        """Partitioning level 0 (rows) colors each row's children the same."""
+        tree = CoordTree.from_tensor(fig7_tensor())
+        colors = {0: {0}, 1: {0}, 2: {1}, 3: {1}}  # rows 0-1 red, 2-3 green
+        per_level = tree_partition_from_level(tree, 0, colors)
+        # level 1 positions 0..4 belong to rows 0-1 -> color 0
+        for p in range(5):
+            assert per_level[1][p] == {0}
+        for p in range(5, 8):
+            assert per_level[1][p] == {1}
+
+    def test_upward_union_fig8b(self):
+        """Partitioning level 1 (non-zeros) colors parents with all child colors."""
+        tree = CoordTree.from_tensor(fig7_tensor())
+        # positions 0..3 red, 4..7 green; row 1 has children at positions 3,4
+        colors = {p: {0} for p in range(4)}
+        colors.update({p: {1} for p in range(4, 8)})
+        per_level = tree_partition_from_level(tree, 1, colors)
+        assert per_level[0][0] == {0}
+        assert per_level[0][1] == {0, 1}  # straddles the split
+        assert per_level[0][2] == {1}
+        assert per_level[0][3] == {1}
+
+    def test_propagation_matches_compiler_partitions(self):
+        """Tree semantics agree with the level-function machinery."""
+        from repro.core import partition_tensor
+
+        B = fig7_tensor()
+        tree = CoordTree.from_tensor(B)
+        bounds = {0: (0, 3), 1: (4, 7)}  # non-zero split
+        part = partition_tensor(B, 1, "nonzero", bounds)
+        colors = {p: {0} for p in range(4)}
+        colors.update({p: {1} for p in range(4, 8)})
+        per_level = tree_partition_from_level(tree, 1, colors)
+        for row in range(4):
+            expected = per_level[0][row]
+            got = {
+                c for c in (0, 1) if part.level_positions[0][c].contains_point(row)
+            }
+            assert got == expected

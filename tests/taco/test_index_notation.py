@@ -1,0 +1,135 @@
+"""Tensor index notation AST tests."""
+import numpy as np
+import pytest
+
+from repro.taco import (
+    Access,
+    Add,
+    Assignment,
+    CSR,
+    Literal,
+    Mul,
+    Tensor,
+    index_vars,
+)
+
+
+@pytest.fixture
+def tensors():
+    B = Tensor.zeros("B", (4, 5), CSR)
+    c = Tensor.from_dense("c", np.arange(5.0))
+    a = Tensor.zeros("a", (4,))
+    return a, B, c
+
+
+class TestAccess:
+    def test_getitem_builds_access(self, tensors):
+        a, B, c = tensors
+        i, j = index_vars("i j")
+        acc = B[i, j]
+        assert isinstance(acc, Access)
+        assert acc.indices == (i, j)
+        assert repr(acc) == "B(i, j)"
+
+    def test_single_var_access(self, tensors):
+        a, B, c = tensors
+        (i,) = index_vars("i")
+        assert c[i].indices == (i,)
+
+    def test_arity_mismatch(self, tensors):
+        a, B, c = tensors
+        i, j, k = index_vars("i j k")
+        with pytest.raises(ValueError):
+            B[i, j, k]
+
+
+class TestExprBuilding:
+    def test_mul_flattens(self, tensors):
+        a, B, c = tensors
+        i, j = index_vars("i j")
+        e = B[i, j] * c[j] * c[j]
+        assert isinstance(e, Mul)
+        assert len(e.operands) == 3
+
+    def test_add_flattens(self, tensors):
+        a, B, c = tensors
+        i, j = index_vars("i j")
+        e = B[i, j] + B[i, j] + B[i, j]
+        assert isinstance(e, Add)
+        assert len(e.operands) == 3
+
+    def test_scalar_wraps_to_literal(self, tensors):
+        a, B, c = tensors
+        i, j = index_vars("i j")
+        e = 2.0 * B[i, j]
+        assert isinstance(e.operands[0], Literal)
+
+    def test_invalid_operand_type(self, tensors):
+        a, B, c = tensors
+        i, j = index_vars("i j")
+        with pytest.raises(TypeError):
+            B[i, j] * "nope"
+
+    def test_index_vars_first_appearance_order(self, tensors):
+        a, B, c = tensors
+        i, j = index_vars("i j")
+        e = B[i, j] * c[j]
+        assert e.index_vars() == [i, j]
+
+
+class TestAssignment:
+    def test_setitem_records_assignment(self, tensors):
+        a, B, c = tensors
+        i, j = index_vars("i j")
+        a[i] = B[i, j] * c[j]
+        asg = a.assignment
+        assert isinstance(asg, Assignment)
+        assert asg.lhs.tensor is a
+        assert asg.reduction_vars == [j]
+        assert not asg.accumulate
+
+    def test_augmented_assignment_detected(self, tensors):
+        a, B, c = tensors
+        i, j = index_vars("i j")
+        a[i] = a[i] + B[i, j] * c[j]
+        assert a.assignment.accumulate
+
+    def test_index_vars_lhs_first(self, tensors):
+        a, B, c = tensors
+        i, j = index_vars("i j")
+        a[i] = B[i, j] * c[j]
+        assert a.assignment.index_vars() == [i, j]
+
+    def test_tensors_unique(self, tensors):
+        a, B, c = tensors
+        i, j = index_vars("i j")
+        a[i] = B[i, j] * c[j] + B[i, j] * c[j]
+        names = [t.name for t in a.assignment.tensors()]
+        assert names == ["a", "B", "c"]
+
+    def test_is_additive(self, tensors):
+        a, B, c = tensors
+        i, j = index_vars("i j")
+        B2 = Tensor.zeros("B2", (4, 5), CSR)
+        out = Tensor.zeros("out", (4, 5), CSR)
+        out[i, j] = B[i, j] + B2[i, j]
+        assert out.assignment.is_additive()
+        out[i, j] = B[i, j] * B2[i, j]
+        assert not out.assignment.is_additive()
+
+    def test_schedule_requires_assignment(self):
+        t = Tensor.zeros("t", (3,))
+        with pytest.raises(ValueError):
+            t.schedule()
+
+
+class TestIndexVarIdentity:
+    def test_same_name_distinct_vars(self):
+        i1, = index_vars("i")
+        i2, = index_vars("i")
+        assert i1 != i2
+        assert i1.name == i2.name
+
+    def test_parsing_helpers(self):
+        vs = index_vars("i, j, k")
+        assert [v.name for v in vs] == ["i", "j", "k"]

@@ -1,0 +1,114 @@
+"""Reference evaluator tests against direct NumPy computation."""
+import numpy as np
+import pytest
+
+from repro.taco import CSR, CSF3, Tensor, evaluate, index_vars, var_sizes
+
+rng = np.random.default_rng(42)
+
+
+def sparse_matrix(n, m, density=0.3, name="B"):
+    dense = rng.random((n, m)) * (rng.random((n, m)) < density)
+    return Tensor.from_dense(name, dense, CSR), dense
+
+
+class TestEvaluate:
+    def test_spmv(self):
+        B, Bd = sparse_matrix(6, 5)
+        c = Tensor.from_dense("c", rng.random(5))
+        a = Tensor.zeros("a", (6,))
+        i, j = index_vars("i j")
+        a[i] = B[i, j] * c[j]
+        assert np.allclose(evaluate(a.assignment), Bd @ c.dense_array())
+
+    def test_spmm(self):
+        B, Bd = sparse_matrix(6, 5)
+        C = Tensor.from_dense("C", rng.random((5, 3)))
+        A = Tensor.zeros("A", (6, 3))
+        i, k, j = index_vars("i k j")
+        A[i, j] = B[i, k] * C[k, j]
+        assert np.allclose(evaluate(A.assignment), Bd @ C.dense_array())
+
+    def test_sddmm(self):
+        B, Bd = sparse_matrix(6, 5)
+        C = Tensor.from_dense("C", rng.random((6, 4)))
+        D = Tensor.from_dense("D", rng.random((4, 5)))
+        A = Tensor.zeros("A", (6, 5), CSR)
+        i, j, k = index_vars("i j k")
+        A[i, j] = B[i, j] * C[i, k] * D[k, j]
+        expected = Bd * (C.dense_array() @ D.dense_array())
+        assert np.allclose(evaluate(A.assignment), expected)
+
+    def test_add_three(self):
+        B, Bd = sparse_matrix(6, 5, name="B")
+        C, Cd = sparse_matrix(6, 5, name="C")
+        D, Dd = sparse_matrix(6, 5, name="D")
+        A = Tensor.zeros("A", (6, 5), CSR)
+        i, j = index_vars("i j")
+        A[i, j] = B[i, j] + C[i, j] + D[i, j]
+        assert np.allclose(evaluate(A.assignment), Bd + Cd + Dd)
+
+    def test_ttv(self):
+        dense = rng.random((4, 3, 5)) * (rng.random((4, 3, 5)) < 0.4)
+        B = Tensor.from_dense("B", dense, CSF3)
+        c = Tensor.from_dense("c", rng.random(5))
+        A = Tensor.zeros("A", (4, 3), CSR)
+        i, j, k = index_vars("i j k")
+        A[i, j] = B[i, j, k] * c[k]
+        assert np.allclose(evaluate(A.assignment),
+                           np.einsum("ijk,k->ij", dense, c.dense_array()))
+
+    def test_mttkrp(self):
+        dense = rng.random((4, 3, 5)) * (rng.random((4, 3, 5)) < 0.4)
+        B = Tensor.from_dense("B", dense, CSF3)
+        C = Tensor.from_dense("C", rng.random((3, 2)))
+        D = Tensor.from_dense("D", rng.random((5, 2)))
+        A = Tensor.zeros("A", (4, 2))
+        i, j, k, l = index_vars("i j k l")
+        A[i, l] = B[i, j, k] * C[j, l] * D[k, l]
+        expected = np.einsum("ijk,jl,kl->il", dense, C.dense_array(), D.dense_array())
+        assert np.allclose(evaluate(A.assignment), expected)
+
+    def test_literal_scaling(self):
+        B, Bd = sparse_matrix(4, 4)
+        A = Tensor.zeros("A", (4, 4), CSR)
+        i, j = index_vars("i j")
+        A[i, j] = 2.0 * B[i, j]
+        assert np.allclose(evaluate(A.assignment), 2.0 * Bd)
+
+    def test_accumulate(self):
+        B, Bd = sparse_matrix(4, 4)
+        a = Tensor.from_dense("a", np.ones(4))
+        c = Tensor.from_dense("c", rng.random(4))
+        i, j = index_vars("i j")
+        a[i] = a[i] + B[i, j] * c[j]
+        assert np.allclose(evaluate(a.assignment), 1.0 + Bd @ c.dense_array())
+
+    def test_mixed_add_mul(self):
+        B, Bd = sparse_matrix(4, 4, name="B")
+        C, Cd = sparse_matrix(4, 4, name="C")
+        c = Tensor.from_dense("c", rng.random(4))
+        a = Tensor.zeros("a", (4,))
+        i, j = index_vars("i j")
+        a[i] = (B[i, j] + C[i, j]) * c[j]
+        assert np.allclose(evaluate(a.assignment), (Bd + Cd) @ c.dense_array())
+
+
+class TestVarSizes:
+    def test_sizes_inferred(self):
+        B, _ = sparse_matrix(6, 5)
+        c = Tensor.from_dense("c", rng.random(5))
+        a = Tensor.zeros("a", (6,))
+        i, j = index_vars("i j")
+        a[i] = B[i, j] * c[j]
+        sizes = var_sizes(a.assignment)
+        assert sizes[i] == 6 and sizes[j] == 5
+
+    def test_conflicting_sizes_rejected(self):
+        B, _ = sparse_matrix(6, 5)
+        c = Tensor.from_dense("c", rng.random(7))
+        a = Tensor.zeros("a", (6,))
+        i, j = index_vars("i j")
+        a[i] = B[i, j] * c[j]
+        with pytest.raises(ValueError):
+            var_sizes(a.assignment)

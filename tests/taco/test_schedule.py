@@ -1,0 +1,151 @@
+"""Scheduling language tests: transformations and provenance (paper §II-C)."""
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.taco import (
+    CPUThread,
+    CSR,
+    GPUThread,
+    Tensor,
+    index_vars,
+)
+
+
+@pytest.fixture
+def spmv():
+    B = Tensor.from_dense("B", np.eye(8), CSR)
+    c = Tensor.from_dense("c", np.ones(8))
+    a = Tensor.zeros("a", (8,))
+    i, j = index_vars("i j")
+    a[i] = B[i, j] * c[j]
+    return a, B, c, i, j
+
+
+class TestLoopTransformations:
+    def test_divide_replaces_loop(self, spmv):
+        a, B, c, i, j = spmv
+        io, ii = index_vars("io ii")
+        s = a.schedule().divide(i, io, ii, 4)
+        assert [v.name for v in s.loop_order] == ["io", "ii", "j"]
+        assert s.pieces_of(io) == 4
+
+    def test_split_records_inner_extent(self, spmv):
+        a, B, c, i, j = spmv
+        io, ii = index_vars("io ii")
+        s = a.schedule().split(i, io, ii, 2)
+        sizes = {i: 8, j: 8}
+        assert s.fused_extents(ii, sizes) == 2
+        assert s.fused_extents(io, sizes) == 4
+
+    def test_divide_extents(self, spmv):
+        a, B, c, i, j = spmv
+        io, ii = index_vars("io ii")
+        s = a.schedule().divide(i, io, ii, 3)
+        sizes = {i: 8, j: 8}
+        assert s.fused_extents(io, sizes) == 3
+        assert s.fused_extents(ii, sizes) == 3  # ceil(8/3)
+
+    def test_fuse_requires_adjacency(self, spmv):
+        a, B, c, i, j = spmv
+        f, = index_vars("f")
+        s = a.schedule()
+        s.fuse(i, j, f)
+        assert [v.name for v in s.loop_order] == ["f"]
+
+    def test_fuse_non_adjacent_rejected(self, spmv):
+        a, B, c, i, j = spmv
+        f, = index_vars("f")
+        with pytest.raises(ScheduleError):
+            a.schedule().fuse(j, i, f)  # j is inside i
+
+    def test_fused_extent_is_product(self, spmv):
+        a, B, c, i, j = spmv
+        f, = index_vars("f")
+        s = a.schedule().fuse(i, j, f)
+        assert s.fused_extents(f, {i: 8, j: 8}) == 64
+
+    def test_reorder(self, spmv):
+        a, B, c, i, j = spmv
+        s = a.schedule().reorder(j, i)
+        assert [v.name for v in s.loop_order] == ["j", "i"]
+
+    def test_reorder_distinct(self, spmv):
+        a, B, c, i, j = spmv
+        with pytest.raises(ScheduleError):
+            a.schedule().reorder(i, i)
+
+    def test_pos_requires_sparse(self, spmv):
+        a, B, c, i, j = spmv
+        jp, = index_vars("jp")
+        with pytest.raises(ScheduleError):
+            a.schedule().pos(j, jp, c[j])
+
+    def test_unknown_var_rejected(self, spmv):
+        a, B, c, i, j = spmv
+        k, io, ii = index_vars("k io ii")
+        with pytest.raises(ScheduleError):
+            a.schedule().divide(k, io, ii, 2)
+
+
+class TestDistribution:
+    def test_distribute_and_communicate(self, spmv):
+        a, B, c, i, j = spmv
+        io, ii = index_vars("io ii")
+        s = (a.schedule().divide(i, io, ii, 4).distribute(io)
+             .communicate([a, B, c], io).parallelize(ii, CPUThread))
+        assert s.distributed == [io]
+        assert s.communicated[io] == [a, B, c]
+        assert s.parallelized[ii] is CPUThread
+
+    def test_double_distribute_rejected(self, spmv):
+        a, B, c, i, j = spmv
+        io, ii = index_vars("io ii")
+        s = a.schedule().divide(i, io, ii, 4).distribute(io)
+        with pytest.raises(ScheduleError):
+            s.distribute(io)
+
+    def test_communicate_foreign_tensor_rejected(self, spmv):
+        a, B, c, i, j = spmv
+        other = Tensor.zeros("other", (3,))
+        io, ii = index_vars("io ii")
+        s = a.schedule().divide(i, io, ii, 4)
+        with pytest.raises(ScheduleError):
+            s.communicate(other, io)
+
+    def test_pieces_requires_divide(self, spmv):
+        a, B, c, i, j = spmv
+        io, ii = index_vars("io ii")
+        s = a.schedule().split(i, io, ii, 2).distribute(io)
+        with pytest.raises(ScheduleError):
+            s.pieces_of(io)
+
+
+class TestProvenance:
+    def test_underlying_vars_through_divide(self, spmv):
+        a, B, c, i, j = spmv
+        io, ii = index_vars("io ii")
+        s = a.schedule().divide(i, io, ii, 4)
+        assert s.underlying_vars(io) == [i]
+        assert s.underlying_vars(ii) == [i]
+
+    def test_underlying_vars_through_fuse_pos(self, spmv):
+        a, B, c, i, j = spmv
+        f, fp, fo, fi = index_vars("f fp fo fi")
+        s = (a.schedule().fuse(i, j, f).pos(f, fp, B[i, j])
+             .divide(fp, fo, fi, 4))
+        assert s.underlying_vars(fo) == [i, j]
+        assert s.is_position_var(fo)
+        assert s.pos_relation_of(fo).access.tensor is B
+        assert not s.is_position_var(i)
+
+    def test_parallel_unit_query(self, spmv):
+        a, B, c, i, j = spmv
+        s = a.schedule().parallelize(j, GPUThread)
+        assert s.leaf_parallel_unit() is GPUThread
+
+    def test_precompute_records(self, spmv):
+        a, B, c, i, j = spmv
+        iw, = index_vars("iw")
+        s = a.schedule().precompute(B[i, j] * c[j], j, iw)
+        assert len(s.precomputed) == 1
