@@ -1,0 +1,57 @@
+"""Iterative-solver benchmark: repeated SpMV with compile-once / run-many.
+
+The scenario is CG-shaped: 100 iterations of ``x <- normalize(A @ x)``
+re-entering the compiler every step (see
+:mod:`repro.bench.iterative`).  It checks the amortization contract:
+
+* iterations 2..N with caching enabled are >= 5x faster wall-clock than
+  the seed path (fresh compile + full staging analysis every step), and
+* the *simulated* metrics (seconds, communication events/bytes) are
+  identical either way — caching speeds up the simulator, never changes
+  what it simulates.
+
+Each run also appends a ``BENCH_iterative_<timestamp>.json`` next to this
+file; ``tools/bench_check.py`` compares a fresh run against the latest
+one and fails on >20% regression of the cached steady-state time.
+"""
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.iterative import run_iterative_spmv, write_bench_report
+from repro.core import clear_caches
+
+ITERATIONS = 100
+HERE = Path(__file__).resolve().parent
+
+
+@pytest.mark.benchmark(group="iterative")
+def test_iterative_spmv_amortization(benchmark):
+    clear_caches()
+    cached = run_iterative_spmv(iterations=ITERATIONS, cached=True)
+    clear_caches()
+    uncached = run_iterative_spmv(iterations=ITERATIONS, cached=False)
+
+    # pytest-benchmark times one steady-state (replayed) iteration.
+    def one_more():
+        return run_iterative_spmv(iterations=2, cached=True)
+
+    benchmark.pedantic(one_more, rounds=1, iterations=1)
+    speedup = uncached.wall_steady / cached.wall_steady
+    benchmark.extra_info["steady_speedup"] = round(speedup, 2)
+    benchmark.extra_info["cached_steady_ms"] = round(cached.wall_steady * 1e3, 4)
+    benchmark.extra_info["uncached_steady_ms"] = round(uncached.wall_steady * 1e3, 4)
+    path = write_bench_report(cached, uncached, HERE)
+    benchmark.extra_info["report"] = str(path)
+
+    # every repeat iteration hit the kernel cache and replayed its trace
+    assert cached.kernel_cache_hits == ITERATIONS - 1
+    assert cached.trace_hits == ITERATIONS - 1
+    # the acceptance bar: steady-state >= 5x over the seed path
+    assert speedup >= 5.0, f"steady-state speedup {speedup:.2f}x < 5x"
+    # caching must not change the simulation
+    assert cached.sim_seconds == pytest.approx(uncached.sim_seconds)
+    assert cached.comm_events == uncached.comm_events
+    assert cached.comm_bytes == pytest.approx(uncached.comm_bytes)
+    assert cached.checksum == pytest.approx(uncached.checksum)

@@ -11,6 +11,7 @@ from .harness import (
     spdistal_spttv,
 )
 from .baseline_runners import ctf_run, petsc_run, trilinos_run
+from .iterative import IterativeResult, run_iterative_spmv
 from .reporting import format_heatmap, format_scaling, format_table, geomean
 from . import figures
 
@@ -20,6 +21,7 @@ __all__ = [
     "spdistal_sddmm", "spdistal_spadd3", "spdistal_spmm",
     "spdistal_spmttkrp", "spdistal_spmv", "spdistal_spttv",
     "ctf_run", "petsc_run", "trilinos_run",
+    "IterativeResult", "run_iterative_spmv",
     "format_heatmap", "format_scaling", "format_table", "geomean",
     "figures",
 ]

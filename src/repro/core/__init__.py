@@ -6,6 +6,15 @@ partitioning (Table I), the coordinate-tree partitioning algorithm
 assembly (§V-B).
 """
 from .plan import PartitioningPlan, PlanStmt
+from .cache import (
+    cache_stats,
+    caches_disabled,
+    caches_enabled,
+    clear_caches,
+    invalidate_tensor,
+    kernel_fingerprint,
+    set_cache_enabled,
+)
 from .levels import (
     CompressedLevelFunctions,
     DenseLevelFunctions,
@@ -31,6 +40,8 @@ from .compiler import (
 
 __all__ = [
     "PartitioningPlan", "PlanStmt",
+    "cache_stats", "caches_disabled", "caches_enabled", "clear_caches",
+    "invalidate_tensor", "kernel_fingerprint", "set_cache_enabled",
     "CompressedLevelFunctions", "DenseLevelFunctions", "LevelFunctions",
     "level_functions_for", "shrink_dense_partition",
     "TensorPartition", "partition_dense_tensor", "partition_tensor",

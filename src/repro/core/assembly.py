@@ -69,6 +69,7 @@ def adopt_pattern(out: Tensor, src: Tensor, keep_levels: int) -> None:
         out.dtype,
         name=f"{out.name}.vals",
     )
+    out._bump_pattern_version()
 
 
 def scan_counts(counts: np.ndarray, name: str = "pos"):
@@ -107,5 +108,6 @@ def install_assembled_output(
         out.vals = Region(
             IndexSpace(total, name=f"{out.name}_vals"), out.dtype, name=f"{out.name}.vals"
         )
+    out._bump_pattern_version()
     lvl = out.levels[1]
     return lvl.pos.data, lvl.crd.data, out.vals.data

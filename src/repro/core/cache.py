@@ -1,0 +1,345 @@
+"""Compile-once / run-many caches (the amortization layer of the paper).
+
+SpDISTAL's headline wins come from paying the cost of sparse-tensor
+partitioning once and amortizing it over the many executions of an
+iterative workload (SpMV inside CG, MTTKRP inside ALS — paper §VI).  This
+module provides the two compiler-side layers of that amortization (the
+runtime-side mapping-trace replay lives in
+:mod:`repro.legion.runtime`):
+
+* **Kernel cache** — :func:`repro.core.compile_kernel` is memoized behind
+  :func:`lookup_kernel` / :func:`store_kernel`.  The key is a *canonical
+  fingerprint* of the schedule (statement structure with tensors and index
+  variables canonicalized by first appearance, loop order, provenance
+  relations, distribution variables, piece counts, parallel units) plus
+  each tensor's identity, shape, format, dtype and ``pattern_version``,
+  plus a structural machine signature.  Rebuilding an identical schedule —
+  even with fresh :class:`~repro.taco.index_vars.IndexVar` objects —
+  therefore hits.
+
+* **Partition memo** — coordinate-tree partitions
+  (:func:`repro.core.partitioner.partition_tensor`) and dense bound
+  partitions are memoized per ``(tensor, pattern_version, level, kind,
+  bounds)``.  Mutating a tensor's *values* does not change its
+  ``pattern_version``, so re-compiles and re-executes over updated values
+  reuse the partitions; re-packing (a structural change) bumps the version
+  and the stale entries simply never hit again.
+
+Invalidation
+------------
+Keys embed ``Tensor.pattern_version``; a pattern bump self-invalidates all
+dependent entries.  Explicit hooks are also provided: call
+:func:`invalidate_tensor` after out-of-band structural surgery on a
+tensor, or :func:`clear_caches` to drop everything (tests use this for
+isolation).  Both caches are bounded LRUs; entries hold strong references
+to their tensors, which keeps ``id``-based keys unambiguous (an id can
+only be reused after the entry — and thus the reference — is evicted).
+
+Use :func:`set_cache_enabled` (or the :func:`caches_disabled` context
+manager) to force the uncached paths, e.g. when benchmarking the seed
+behavior.
+"""
+from __future__ import annotations
+
+import contextlib
+from collections import OrderedDict
+from dataclasses import astuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from ..taco.expr import Access, Add, Assignment, Literal, Mul
+from ..taco.schedule import FuseRel, PosRel, Schedule, SplitRel
+
+__all__ = [
+    "kernel_fingerprint",
+    "lookup_kernel",
+    "store_kernel",
+    "lookup_partition",
+    "store_partition",
+    "partition_cache_key",
+    "dense_partition_cache_key",
+    "invalidate_tensor",
+    "clear_caches",
+    "cache_stats",
+    "set_cache_enabled",
+    "caches_enabled",
+    "caches_disabled",
+]
+
+_KERNEL_CACHE_SIZE = 128
+_PARTITION_CACHE_SIZE = 512
+
+_enabled = True
+
+
+class Unfingerprintable(Exception):
+    """Raised when a schedule contains content the fingerprint cannot
+    canonicalize; the caller falls back to an uncached compile."""
+
+
+class _LRU:
+    """A small bounded LRU map with hit/miss counters."""
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._map: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        try:
+            value = self._map[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._map.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._map[key] = value
+        self._map.move_to_end(key)
+        while len(self._map) > self.maxsize:
+            self._map.popitem(last=False)
+
+    def drop_if(self, pred) -> int:
+        doomed = [k for k, v in self._map.items() if pred(k, v)]
+        for k in doomed:
+            del self._map[k]
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._map.clear()
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+_kernel_cache = _LRU(_KERNEL_CACHE_SIZE)
+_partition_cache = _LRU(_PARTITION_CACHE_SIZE)
+
+
+# --------------------------------------------------------------------------- #
+# enable / disable
+# --------------------------------------------------------------------------- #
+def set_cache_enabled(enabled: bool) -> None:
+    global _enabled
+    _enabled = bool(enabled)
+
+
+def caches_enabled() -> bool:
+    return _enabled
+
+
+@contextlib.contextmanager
+def caches_disabled():
+    """Temporarily force uncached compilation/partitioning (seed behavior)."""
+    global _enabled
+    prev = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = prev
+
+
+# --------------------------------------------------------------------------- #
+# canonical fingerprints
+# --------------------------------------------------------------------------- #
+class _Canon:
+    """Canonicalizes tensors and index variables by first appearance, so
+    structurally identical schedules built from fresh objects coincide."""
+
+    def __init__(self):
+        self.tensors: List[Any] = []
+        self._tensor_tokens: Dict[int, int] = {}
+        self._var_tokens: Dict[int, int] = {}
+
+    def tensor(self, t) -> int:
+        tok = self._tensor_tokens.get(id(t))
+        if tok is None:
+            tok = len(self.tensors)
+            self._tensor_tokens[id(t)] = tok
+            self.tensors.append(t)
+        return tok
+
+    def var(self, v) -> int:
+        tok = self._var_tokens.get(id(v))
+        if tok is None:
+            tok = len(self._var_tokens)
+            self._var_tokens[id(v)] = tok
+        return tok
+
+    def expr(self, e) -> Tuple:
+        if isinstance(e, Access):
+            return ("A", self.tensor(e.tensor), tuple(self.var(v) for v in e.indices))
+        if isinstance(e, Mul):
+            return ("*",) + tuple(self.expr(o) for o in e.operands)
+        if isinstance(e, Add):
+            return ("+",) + tuple(self.expr(o) for o in e.operands)
+        if isinstance(e, Literal):
+            return ("L", e.value)
+        raise Unfingerprintable(f"cannot fingerprint {type(e).__name__}")
+
+
+def _format_signature(fmt) -> Tuple:
+    return (tuple(lf.is_compressed for lf in fmt.levels), fmt.mode_ordering)
+
+
+def _tensor_state(t) -> Tuple:
+    return (t.pattern_version, t.shape, _format_signature(t.format), t.dtype.str)
+
+
+_machine_sigs: Dict[int, Tuple[Any, Tuple]] = {}
+
+
+def _machine_signature(machine) -> Tuple:
+    # Machines are immutable after construction; memoize per object (the
+    # strong reference keeps the id unambiguous while cached).
+    hit = _machine_sigs.get(id(machine))
+    if hit is not None and hit[0] is machine:
+        return hit[1]
+    sig = (machine.kind.value, machine.grid.dims, astuple(machine.node))
+    if len(_machine_sigs) > 64:
+        _machine_sigs.clear()
+    _machine_sigs[id(machine)] = (machine, sig)
+    return sig
+
+
+def kernel_fingerprint(schedule: Schedule, machine) -> Tuple:
+    """The canonical cache key of ``compile_kernel(schedule, machine)``.
+
+    Raises :class:`Unfingerprintable` for schedule content outside the
+    canonical forms (callers then compile uncached).
+    """
+    canon = _Canon()
+    asg: Assignment = schedule.assignment
+    stmt = ("=", canon.expr(asg.lhs), canon.expr(asg.rhs), asg.accumulate)
+    rels = []
+    for rel in schedule.relations:
+        if isinstance(rel, SplitRel):
+            rels.append(("split", canon.var(rel.parent), canon.var(rel.outer),
+                         canon.var(rel.inner), rel.factor, rel.is_divide))
+        elif isinstance(rel, FuseRel):
+            rels.append(("fuse", canon.var(rel.a), canon.var(rel.b),
+                         canon.var(rel.fused)))
+        elif isinstance(rel, PosRel):
+            rels.append(("pos", canon.var(rel.coord_var), canon.var(rel.pos_var),
+                         canon.expr(rel.access)))
+        else:
+            raise Unfingerprintable(f"unknown relation {type(rel).__name__}")
+    sched_sig = (
+        stmt,
+        tuple(rels),
+        tuple(canon.var(v) for v in schedule.loop_order),
+        tuple(canon.var(v) for v in schedule.distributed),
+        tuple((canon.var(v), u.value) for v, u in schedule.parallelized.items()),
+        tuple(
+            (canon.var(v), tuple(canon.tensor(t) for t in ts))
+            for v, ts in schedule.communicated.items()
+        ),
+        tuple(
+            (canon.expr(e), canon.var(i), canon.var(iw),
+             canon.tensor(w) if w is not None else None)
+            for e, i, iw, w in schedule.precomputed
+        ),
+    )
+    tensor_ids = tuple(id(t) for t in canon.tensors)
+    tensor_states = tuple(_tensor_state(t) for t in canon.tensors)
+    return (sched_sig, tensor_ids, tensor_states, _machine_signature(machine))
+
+
+# --------------------------------------------------------------------------- #
+# kernel cache
+# --------------------------------------------------------------------------- #
+def lookup_kernel(key: Tuple):
+    """Return the cached :class:`CompiledKernel` for ``key``, or None."""
+    if not _enabled:
+        return None
+    entry = _kernel_cache.get(key)
+    return None if entry is None else entry[0]
+
+
+def store_kernel(key: Tuple, kernel, tensors: List[Any]) -> None:
+    """Store a compiled kernel; ``tensors`` pins the identities in the key."""
+    if not _enabled:
+        return
+    _kernel_cache.put(key, (kernel, tuple(tensors)))
+
+
+# --------------------------------------------------------------------------- #
+# partition memo
+# --------------------------------------------------------------------------- #
+def _sorted_items(d) -> Tuple:
+    """Order-insensitive dict signature (falls back to insertion order for
+    incomparable keys, which never occurs for homogeneous color dicts)."""
+    try:
+        return tuple(sorted(d.items()))
+    except TypeError:
+        return tuple(d.items())
+
+
+def partition_cache_key(tensor, initial_level: int, kind: str, bounds) -> Tuple:
+    return (
+        id(tensor),
+        tensor.pattern_version,
+        "tree",
+        initial_level,
+        kind,
+        _sorted_items(bounds),
+    )
+
+
+def dense_partition_cache_key(tensor, mode_bounds) -> Tuple:
+    return (
+        id(tensor),
+        tensor.pattern_version,
+        "dense",
+        _sorted_items({c: _sorted_items(pm) for c, pm in mode_bounds.items()}),
+    )
+
+
+def lookup_partition(key: Tuple):
+    """Return ``(TensorPartition, plan_stmts)`` for ``key``, or None."""
+    if not _enabled:
+        return None
+    entry = _partition_cache.get(key)
+    return None if entry is None else (entry[0], entry[1])
+
+
+def store_partition(key: Tuple, partition, plan_stmts) -> None:
+    if not _enabled:
+        return
+    _partition_cache.put(key, (partition, tuple(plan_stmts)))
+
+
+# --------------------------------------------------------------------------- #
+# invalidation hooks
+# --------------------------------------------------------------------------- #
+def invalidate_tensor(tensor) -> int:
+    """Drop every cache entry that references ``tensor``.
+
+    Pattern bumps already self-invalidate (keys embed the version); this is
+    the explicit hook for out-of-band structural surgery.  Returns the
+    number of entries dropped.
+    """
+    tid = id(tensor)
+    n = _partition_cache.drop_if(lambda k, v: k[0] == tid)
+    n += _kernel_cache.drop_if(lambda k, v: tid in k[1])
+    return n
+
+
+def clear_caches() -> None:
+    """Drop all kernel and partition cache entries (e.g. between tests)."""
+    _kernel_cache.clear()
+    _partition_cache.clear()
+
+
+def cache_stats() -> Dict[str, int]:
+    return {
+        "kernel_entries": len(_kernel_cache),
+        "kernel_hits": _kernel_cache.hits,
+        "kernel_misses": _kernel_cache.misses,
+        "partition_entries": len(_partition_cache),
+        "partition_hits": _partition_cache.hits,
+        "partition_misses": _partition_cache.misses,
+    }

@@ -38,6 +38,7 @@ from ..taco.reference import var_sizes
 from ..taco.schedule import ParallelUnit, Schedule
 from ..taco.tensor import CompressedLevel, Tensor
 from .. import kernels as K
+from . import cache as _cache
 from .assembly import adopt_pattern, install_assembled_output, pattern_source
 from .partitioner import (
     TensorPartition,
@@ -256,10 +257,17 @@ class CompiledKernel:
     def execute(
         self, runtime: Optional[Runtime] = None, *, fresh_trial: bool = True
     ) -> ExecutionResult:
-        """Run the kernel once; returns the output and this trial's metrics."""
+        """Run the kernel once; returns the output and this trial's metrics.
+
+        ``fresh_trial`` resets staged copies to home placements so each
+        trial pays the communication its algorithm inherently performs; the
+        runtime's recorded mapping traces survive the reset, so iterations
+        2..N replay the first iteration's staging decisions instead of
+        re-deriving them (see :class:`repro.legion.runtime.Runtime`).
+        """
         rt = self._ensure_runtime(runtime)
         if fresh_trial:
-            rt.invalidate_caches()
+            rt.reset_residency()
         before = len(rt.metrics.steps)
         if self.kind == "spadd":
             self._execute_spadd(rt)
@@ -368,10 +376,53 @@ class CompiledKernel:
 # --------------------------------------------------------------------------- #
 # compilation
 # --------------------------------------------------------------------------- #
-def compile_kernel(schedule: Schedule, machine: Optional[Machine] = None) -> CompiledKernel:
-    """Compile a scheduled statement for a machine (Fig. 9a)."""
+def compile_kernel(
+    schedule: Schedule,
+    machine: Optional[Machine] = None,
+    *,
+    use_cache: bool = True,
+) -> CompiledKernel:
+    """Compile a scheduled statement for a machine (Fig. 9a).
+
+    Memoized (compile-once / run-many): an equivalent schedule over the
+    same tensors and an equivalent machine returns the previously compiled
+    :class:`CompiledKernel` — including its partitions, leaf closure and
+    attached runtime — so iterative workloads pay compilation once.  The
+    cache key embeds every tensor's ``pattern_version``; structural
+    mutations miss while value-only updates hit (see
+    :mod:`repro.core.cache`).  Pass ``use_cache=False`` (or disable caches
+    globally) to force a fresh compile.
+    """
     if machine is None:
         machine = Machine.cpu(1)
+    if not use_cache:
+        # The full seed path: bypass the partition memo too, so measured
+        # uncached compiles really re-derive every coordinate-tree partition.
+        with _cache.caches_disabled():
+            return _compile_uncached(schedule, machine)
+    if _cache.caches_enabled():
+        try:
+            key = _cache.kernel_fingerprint(schedule, machine)
+        except _cache.Unfingerprintable:
+            key = None
+        if key is not None:
+            hit = _cache.lookup_kernel(key)
+            # A kernel mutated after compilation (stream_tensor) must not be
+            # handed to a caller that didn't ask for streaming — recompile
+            # (the fresh kernel then replaces the mutated entry).
+            if hit is not None and not hit._streamed:
+                return hit
+            ck = _compile_uncached(schedule, machine)
+            # Compilation may adopt an input's pattern into the output
+            # (bumping its version), so store under the post-compile
+            # fingerprint — the one the next lookup will compute.
+            post = _cache.kernel_fingerprint(schedule, machine)
+            _cache.store_kernel(post, ck, schedule.assignment.tensors())
+            return ck
+    return _compile_uncached(schedule, machine)
+
+
+def _compile_uncached(schedule: Schedule, machine: Machine) -> CompiledKernel:
     asg = schedule.assignment
     sizes = var_sizes(asg)
     kc = classify(asg)
@@ -847,13 +898,20 @@ def _build_generic_leaf(ck: CompiledKernel) -> Callable[[Piece], Work]:
         else:
             coords, _ = out.to_coo()
             # pattern-preserving sparse output: scatter into stored positions
-            from .assembly import pattern_source as _ps
-
-            key_stored = np.zeros(out.nnz, dtype=np.int64)
-            key_new = np.zeros(result.nnz, dtype=np.int64)
-            for d in range(out.order):
-                key_stored = key_stored * out.shape[d] + coords[d]
-                key_new = key_new * out.shape[d] + result.coords[d]
+            if K.fits_int64(out.shape):
+                key_stored = np.zeros(out.nnz, dtype=np.int64)
+                key_new = np.zeros(result.nnz, dtype=np.int64)
+                for d in range(out.order):
+                    key_stored = key_stored * out.shape[d] + coords[d]
+                    key_new = key_new * out.shape[d] + result.coords[d]
+            else:
+                # Huge dimension products overflow the flattened key; rank
+                # stored and new coordinates jointly instead.
+                both = np.concatenate(
+                    [np.stack(coords), np.asarray(result.coords)], axis=1
+                )
+                ranks = K.lex_ranks(both)
+                key_stored, key_new = ranks[: out.nnz], ranks[out.nnz :]
             idx = np.searchsorted(key_stored, key_new)
             out.vals.data.reshape(-1)[idx] += result.vals
         return work

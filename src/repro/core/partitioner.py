@@ -12,6 +12,13 @@ partitions of every level above and below it:
 The result is a :class:`TensorPartition`: one positions-partition per level
 (plus the ``pos``-region partitions of compressed levels) and the values
 partition, ready to be turned into Legion region requirements.
+
+Partitions are memoized per ``(tensor pattern version, level, kind,
+bounds)`` in :mod:`repro.core.cache`: re-deriving the same coordinate-tree
+partition for the same data (a recompile, or another statement splitting
+the same tensor the same way) returns the cached object and replays the
+recorded plan statements.  Mutating a tensor's values does not bump its
+pattern version and therefore does not invalidate these entries.
 """
 from __future__ import annotations
 
@@ -25,6 +32,7 @@ from ..legion.index_space import EMPTY, Rect, RectSubset
 from ..legion.partition import Partition
 from ..legion.runtime import Privilege, RegionReq
 from ..taco.tensor import CompressedLevel, Tensor
+from . import cache as _cache
 from .levels import LevelFunctions, level_functions_for
 from .plan import PartitioningPlan
 
@@ -123,7 +131,12 @@ def partition_tensor(
     bounds: Dict[Color, Bounds],
     plan: Optional[PartitioningPlan] = None,
 ) -> TensorPartition:
-    """Run the Table I level functions to partition one tensor's tree."""
+    """Run the Table I level functions to partition one tensor's tree.
+
+    Memoized: a repeat call over the same pattern version, level, kind and
+    bounds returns the cached :class:`TensorPartition` (shared, read-only)
+    and re-emits the originally recorded plan statements into ``plan``.
+    """
     if plan is None:
         plan = PartitioningPlan(f"partition_{tensor.name}")
     if tensor.format.is_all_dense():
@@ -131,6 +144,13 @@ def partition_tensor(
     nlevels = len(tensor.levels)
     if not (0 <= initial_level < nlevels):
         raise CompileError(f"initial level {initial_level} out of range")
+    key = _cache.partition_cache_key(tensor, initial_level, kind, bounds)
+    hit = _cache.lookup_partition(key)
+    if hit is not None:
+        part, stmts = hit
+        plan.stmts.extend(stmts)
+        return part
+    emitted_from = len(plan.stmts)
     funcs: List[LevelFunctions] = [
         level_functions_for(tensor, l, plan) for l in range(nlevels)
     ]
@@ -169,13 +189,15 @@ def partition_tensor(
     vals_src = positions[nlevels - 1]
     vals_part = Partition(tensor.vals.ispace, dict(vals_src.subsets),
                           name=f"{tensor.name}ValsPart")
-    return TensorPartition(
+    result = TensorPartition(
         tensor,
         level_positions=positions,
         level_pos_parts=[f.pos_part for f in funcs],
         vals_part=vals_part,
         colors=colors,
     )
+    _cache.store_partition(key, result, plan.stmts[emitted_from:])
+    return result
 
 
 def partition_dense_tensor(
@@ -193,6 +215,13 @@ def partition_dense_tensor(
         plan = PartitioningPlan(f"partition_{tensor.name}")
     if not tensor.format.is_all_dense():
         raise CompileError("partition_dense_tensor requires an all-dense tensor")
+    key = _cache.dense_partition_cache_key(tensor, mode_bounds)
+    hit = _cache.lookup_partition(key)
+    if hit is not None:
+        part, stmts = hit
+        plan.stmts.extend(stmts)
+        return part
+    emitted_from = len(plan.stmts)
     subsets = {}
     stored_modes = tensor.format.mode_ordering
     for color, per_mode in mode_bounds.items():
@@ -212,13 +241,15 @@ def partition_dense_tensor(
     )
     part = Partition(tensor.vals.ispace, subsets, name=f"{tensor.name}ValsPart")
     nlevels = len(tensor.levels)
-    return TensorPartition(
+    result = TensorPartition(
         tensor,
         level_positions=[None] * nlevels,
         level_pos_parts=[None] * nlevels,
         vals_part=part,
         colors=list(mode_bounds.keys()),
     )
+    _cache.store_partition(key, result, plan.stmts[emitted_from:])
+    return result
 
 
 def replicated_partition(tensor: Tensor, colors: Sequence[Color]) -> TensorPartition:

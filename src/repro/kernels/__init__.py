@@ -19,7 +19,7 @@ from .sddmm import sddmm_nonzeros, sddmm_reference, sddmm_rows
 from .spadd import spadd3_fill, spadd3_symbolic
 from .spttv import spttv_fibers, spttv_nonzeros, spttv_reference
 from .spmttkrp import spmttkrp_csf, spmttkrp_ddc, spmttkrp_reference
-from .generic_coo import CooData, coo_of_access, evaluate_generic
+from .generic_coo import CooData, coo_of_access, evaluate_generic, fits_int64, lex_ranks
 
 __all__ = [
     "expand_ranges", "piece_range", "row_of_positions", "segment_sum",
@@ -30,5 +30,5 @@ __all__ = [
     "spadd3_fill", "spadd3_symbolic",
     "spttv_fibers", "spttv_nonzeros", "spttv_reference",
     "spmttkrp_csf", "spmttkrp_ddc", "spmttkrp_reference",
-    "CooData", "coo_of_access", "evaluate_generic",
+    "CooData", "coo_of_access", "evaluate_generic", "fits_int64", "lex_ranks",
 ]

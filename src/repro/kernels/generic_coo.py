@@ -18,7 +18,64 @@ from ..legion.machine import Work
 from ..taco.expr import Access, Add, IndexExpr, Literal, Mul
 from ..taco.index_vars import IndexVar
 
-__all__ = ["CooData", "coo_of_access", "evaluate_generic"]
+__all__ = [
+    "CooData",
+    "coo_of_access",
+    "evaluate_generic",
+    "fits_int64",
+    "lex_ranks",
+]
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def fits_int64(sizes: Sequence[int]) -> bool:
+    """True when a row-major flattening of these dimension sizes cannot
+    overflow int64 (the product is computed with Python's bignum ints)."""
+    prod = 1
+    for s in sizes:
+        prod *= max(int(s), 1)
+    return prod <= _INT64_MAX
+
+
+def _lex_groups(rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Lexicographically sort columns and mark group starts.
+
+    Returns ``(order, change)`` where ``rows[:, order]`` is lex-sorted and
+    ``change[i]`` is True at the first column of each run of equal columns.
+    The shared core of :func:`lex_ranks` and the overflow-safe reduction.
+    """
+    n = rows.shape[1]
+    order = np.lexsort(rows[::-1])
+    sorted_rows = rows[:, order]
+    change = np.zeros(n, dtype=bool)
+    change[0] = True
+    if n > 1:
+        change[1:] = (sorted_rows[:, 1:] != sorted_rows[:, :-1]).any(axis=0)
+    return order, change
+
+
+def lex_ranks(rows: np.ndarray) -> np.ndarray:
+    """Dense lexicographic ranks of the columns of ``rows``.
+
+    Equal columns receive equal ranks and the rank order matches the
+    lexicographic order of the columns — i.e. the same order the flattened
+    ``key * size + coord`` key induces, but immune to int64 overflow for
+    huge dimension products.  Ranks are only comparable within one call;
+    to compare two fragments, rank their concatenated columns jointly.
+    """
+    rows = np.asarray(rows)
+    if rows.ndim == 1:
+        rows = rows[None, :]
+    n = rows.shape[1]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if rows.shape[0] == 0:
+        return np.zeros(n, dtype=np.int64)
+    order, change = _lex_groups(rows)
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = np.cumsum(change) - 1
+    return ranks
 
 
 @dataclass
@@ -33,8 +90,21 @@ class CooData:
     def nnz(self) -> int:
         return self.vals.size
 
+    def rows_for(self, vars: Sequence[IndexVar]) -> np.ndarray:
+        """The coordinate rows of ``vars``, stacked ``(len(vars), nnz)``."""
+        sel = [self.vars.index(v) for v in vars]
+        return self.coords[sel] if sel else np.empty((0, self.nnz), dtype=np.int64)
+
     def key_for(self, vars: Sequence[IndexVar], sizes: Dict[IndexVar, int]) -> np.ndarray:
-        """Flatten the coordinates of ``vars`` into a single sortable key."""
+        """Flatten the coordinates of ``vars`` into a single sortable key.
+
+        When the dimension product would overflow int64, falls back to
+        :func:`lex_ranks` over the coordinate rows — order- and
+        equality-consistent within this fragment, but (unlike the flattened
+        form) not decodable and not comparable across fragments.
+        """
+        if not fits_int64([sizes[v] for v in vars]):
+            return lex_ranks(self.rows_for(vars))
         key = np.zeros(self.nnz, dtype=np.int64)
         for v in vars:
             key = key * sizes[v] + self.coords[self.vars.index(v)]
@@ -70,8 +140,15 @@ def _multiply(a: CooData, b: CooData, sizes: Dict[IndexVar, int]) -> Tuple[CooDa
         ia = np.repeat(np.arange(na, dtype=np.int64), nb)
         ib = np.tile(np.arange(nb, dtype=np.int64), na)
     else:
-        ka = a.key_for(shared, sizes)
-        kb = b.key_for(shared, sizes)
+        if fits_int64([sizes[v] for v in shared]):
+            ka = a.key_for(shared, sizes)
+            kb = b.key_for(shared, sizes)
+        else:
+            # Joint ranking keeps the keys comparable across both operands
+            # where per-fragment flattening would overflow int64.
+            both = np.concatenate([a.rows_for(shared), b.rows_for(shared)], axis=1)
+            ranks = lex_ranks(both)
+            ka, kb = ranks[: a.nnz], ranks[a.nnz :]
         order = np.argsort(kb, kind="stable")
         kb_sorted = kb[order]
         lo = np.searchsorted(kb_sorted, ka, side="left")
@@ -103,6 +180,15 @@ def _reduce_to(t: CooData, keep: Sequence[IndexVar], sizes: Dict[IndexVar, int])
     keep = [v for v in keep if v in t.vars] + []
     if t.nnz == 0:
         return CooData(tuple(keep), np.empty((len(keep), 0), dtype=np.int64), t.vals[:0])
+    if keep and not fits_int64([sizes[v] for v in keep]):
+        # Flattened keys would overflow: group by lexsorted coordinate rows
+        # directly (the coordinates come from the sort, no decode needed).
+        rows = t.rows_for(keep)
+        order, change = _lex_groups(rows)
+        group = np.cumsum(change) - 1
+        vals = np.bincount(group, weights=t.vals[order], minlength=int(group[-1]) + 1)
+        coords = np.ascontiguousarray(rows[:, order][:, change])
+        return CooData(tuple(keep), coords, vals.astype(t.vals.dtype))
     key = t.key_for(keep, sizes) if keep else np.zeros(t.nnz, dtype=np.int64)
     uniq, inverse = np.unique(key, return_inverse=True)
     vals = np.bincount(inverse, weights=t.vals, minlength=uniq.size)

@@ -23,7 +23,7 @@ from .dependent import image, partition_by_bounds, partition_by_value_ranges, pr
 from .machine import Grid, Machine, NodeSpec, ProcKind, Processor, Work
 from .network import Network
 from .metrics import CommEvent, ExecutionMetrics, StepMetrics
-from .runtime import Privilege, RegionReq, Runtime
+from .runtime import MappingTrace, Privilege, RegionReq, Runtime
 
 __all__ = [
     "EMPTY",
@@ -56,6 +56,7 @@ __all__ = [
     "CommEvent",
     "ExecutionMetrics",
     "StepMetrics",
+    "MappingTrace",
     "Privilege",
     "RegionReq",
     "Runtime",

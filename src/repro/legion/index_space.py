@@ -272,6 +272,25 @@ def subset_from_indices(idx: np.ndarray) -> IndexSubset:
     return ArraySubset(idx, assume_sorted_unique=True)
 
 
+def _from_sorted_unique(idx: np.ndarray) -> IndexSubset:
+    """Like :func:`subset_from_indices` but for already sorted, unique input
+    (skips the ``np.unique`` sort — the hot path of the staging algebra)."""
+    if idx.size == 0:
+        return EMPTY
+    lo, hi = int(idx[0]), int(idx[-1])
+    if hi - lo + 1 == idx.size:
+        return RectSubset(Rect(lo, hi))
+    return ArraySubset(idx, assume_sorted_unique=True)
+
+
+def _span_1d(s: IndexSubset) -> Tuple[int, int]:
+    """(first, last) index of a non-empty 1-D subset."""
+    if isinstance(s, RectSubset):
+        return int(s.rect.lo[0]), int(s.rect.hi[0])
+    idx = s.indices()
+    return int(idx[0]), int(idx[-1])
+
+
 def union_subsets(subsets: Sequence[IndexSubset]) -> IndexSubset:
     """Union 1-D subsets, collapsing to a rect when the result is contiguous."""
     subsets = [s for s in subsets if not s.empty]
@@ -279,6 +298,17 @@ def union_subsets(subsets: Sequence[IndexSubset]) -> IndexSubset:
         return EMPTY
     if len(subsets) == 1:
         return subsets[0]
+    if all(isinstance(s, RectSubset) and s.rect.ndim == 1 or isinstance(s, ArraySubset)
+           for s in subsets):
+        # A rect spanning every subset's range contains the whole union —
+        # return it without materializing anything (the common case of a
+        # replicated full copy unioned with staged pieces).
+        spans = [_span_1d(s) for s in subsets]
+        lo = min(a for a, _ in spans)
+        hi = max(b for _, b in spans)
+        for s, (a, b) in zip(subsets, spans):
+            if isinstance(s, RectSubset) and a == lo and b == hi:
+                return s
     if all(isinstance(s, RectSubset) for s in subsets):
         rects = sorted((s.rect for s in subsets), key=lambda r: r.lo[0])
         lo, hi = rects[0].lo[0], rects[0].hi[0]
@@ -300,6 +330,10 @@ def subtract_subsets(a: IndexSubset, b: IndexSubset) -> IndexSubset:
     Exact for 1-D subsets; for multi-dimensional rects the result is ``a``
     unless ``b`` fully covers it (a conservative approximation — N-D rect
     differences are not representable as a single subset).
+
+    The 1-D cases are fully vectorized and avoid materializing rects as
+    index arrays wherever the result is expressible in bounds arithmetic —
+    this sits on the staging hot path of every index launch.
     """
     if a.empty:
         return EMPTY
@@ -309,11 +343,50 @@ def subtract_subsets(a: IndexSubset, b: IndexSubset) -> IndexSubset:
         if isinstance(b, RectSubset) and b.rect.contains_rect(a.rect):
             return EMPTY
         return a
-    ia = a.indices()
-    ib = b.indices() if not (isinstance(b, RectSubset) and b.rect.ndim > 1) else None
-    if ib is None:
+    if isinstance(b, RectSubset) and b.rect.ndim > 1:
         return a
-    return subset_from_indices(np.setdiff1d(ia, ib, assume_unique=True))
+    if isinstance(a, RectSubset):
+        alo, ahi = int(a.rect.lo[0]), int(a.rect.hi[0])
+        if isinstance(b, RectSubset):
+            blo, bhi = int(b.rect.lo[0]), int(b.rect.hi[0])
+            if bhi < alo or blo > ahi:
+                return a
+            left = (alo, min(ahi, blo - 1))
+            right = (max(alo, bhi + 1), ahi)
+            has_left, has_right = left[1] >= left[0], right[1] >= right[0]
+            if not has_left and not has_right:
+                return EMPTY
+            if has_left and not has_right:
+                return RectSubset(Rect(left[0], left[1]))
+            if has_right and not has_left:
+                return RectSubset(Rect(right[0], right[1]))
+            idx = np.concatenate([
+                np.arange(left[0], left[1] + 1, dtype=np.int64),
+                np.arange(right[0], right[1] + 1, dtype=np.int64),
+            ])
+            return ArraySubset(idx, assume_sorted_unique=True)
+        ib = b.indices()
+        j0 = np.searchsorted(ib, alo)
+        j1 = np.searchsorted(ib, ahi, side="right")
+        inside = ib[j0:j1]
+        n = ahi - alo + 1
+        if inside.size == 0:
+            return a
+        if inside.size == n:
+            return EMPTY
+        mask = np.ones(n, dtype=bool)
+        mask[inside - alo] = False
+        return _from_sorted_unique(np.flatnonzero(mask) + alo)
+    ia = a.indices()
+    if isinstance(b, RectSubset):
+        blo, bhi = int(b.rect.lo[0]), int(b.rect.hi[0])
+        i0 = np.searchsorted(ia, blo)
+        i1 = np.searchsorted(ia, bhi, side="right")
+        if i0 == i1:
+            return a
+        return _from_sorted_unique(np.concatenate([ia[:i0], ia[i1:]]))
+    keep = ~np.isin(ia, b.indices(), assume_unique=True)
+    return _from_sorted_unique(ia[keep])
 
 
 def intersect_subsets(a: IndexSubset, b: IndexSubset) -> IndexSubset:
@@ -322,5 +395,17 @@ def intersect_subsets(a: IndexSubset, b: IndexSubset) -> IndexSubset:
     if isinstance(a, RectSubset) and isinstance(b, RectSubset):
         r = a.rect.intersection(b.rect)
         return EMPTY if r.empty else RectSubset(r)
+    # Rect ∩ array: a sorted array sliced by bounds stays sorted and unique,
+    # so two binary searches replace materializing the rect + intersect1d.
+    for arr, rect in ((a, b), (b, a)):
+        if (
+            isinstance(arr, ArraySubset)
+            and isinstance(rect, RectSubset)
+            and rect.rect.ndim == 1
+        ):
+            idx = arr.indices()
+            i0 = np.searchsorted(idx, rect.rect.lo[0])
+            i1 = np.searchsorted(idx, rect.rect.hi[0], side="right")
+            return _from_sorted_unique(idx[i0:i1])
     ia, ib = a.indices(), b.indices()
     return subset_from_indices(np.intersect1d(ia, ib, assume_unique=True))

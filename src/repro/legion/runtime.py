@@ -10,9 +10,35 @@ capacities (GPU OOM → DNC entries in the paper's Fig. 11).
 The numerical work itself happens inside the task body on NumPy views; the
 task returns a :class:`~repro.legion.machine.Work` record from which the
 roofline model derives per-processor compute time.
+
+Mapping-trace replay
+--------------------
+Legion's *dynamic tracing* memoizes the mapper's decisions for a repeated
+launch and replays them, skipping the dependence/mapping analysis.  This
+runtime reproduces that amortization: the first ``index_launch`` from a
+given residency state records a :class:`MappingTrace` — the per-color
+target processor, every communication event the staging and coherence
+logic emitted, and a snapshot of the residency state the launch left
+behind.  A later launch with the same *launch signature* (name, colors,
+region requirements, processor assignment, scratch demands) from the same
+residency state replays the trace: the recorded communication events are
+re-charged to the network model and the residency snapshot is restored,
+but none of the per-color Python subset intersection/subtraction algebra
+re-runs.  Task bodies always execute (values may have changed) and compute
+time is re-derived from the returned :class:`Work`, so replayed metrics
+are bit-identical to what a fresh analysis would produce.
+
+Residency states are tracked symbolically: ``reset_residency`` (called
+between trials) returns to the canonical "homes only" state *without*
+dropping traces — this is what makes iterations 2..N of an iterative
+solver replay.  Any out-of-band mutation (``place*``, ``copy_subset``)
+moves to a fresh unique state, so stale traces can never fire, and
+``invalidate_caches`` additionally drops all recorded traces (the hook to
+use after writing region data behind the runtime's back).
 """
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
@@ -28,12 +54,12 @@ from .index_space import (
     union_subsets,
 )
 from .machine import Machine, Processor, Work
-from .metrics import ExecutionMetrics, StepMetrics
+from .metrics import CommEvent, ExecutionMetrics, StepMetrics
 from .network import Network
 from .partition import Partition
 from .region import Region
 
-__all__ = ["Privilege", "RegionReq", "Runtime"]
+__all__ = ["Privilege", "RegionReq", "Runtime", "MappingTrace"]
 
 Color = Hashable
 
@@ -93,7 +119,14 @@ class _Residency:
     def add(self, proc: int, subset: IndexSubset) -> None:
         if subset.empty:
             return
-        self.by_proc.setdefault(proc, []).append(subset)
+        pieces = self.by_proc.setdefault(proc, [])
+        # Skip exact duplicates so steady-state launches leave residency at
+        # a fixpoint (same-type compare only: cross-type equality would
+        # materialize rects as index arrays).
+        for p in pieces:
+            if p is subset or (type(p) is type(subset) and p == subset):
+                return
+        pieces.append(subset)
 
     def invalidate_others(self, writer: int, subset: IndexSubset) -> None:
         for proc, pieces in self.by_proc.items():
@@ -109,15 +142,69 @@ class _Residency:
         return float(union_subsets(pieces).volume) * itemsize * row_width
 
 
-class Runtime:
-    """Launches index tasks over a :class:`Machine` and accounts their cost."""
+@dataclass
+class MappingTrace:
+    """Memoized staging decisions of one index launch (cf. Legion tracing).
 
-    def __init__(self, machine: Machine, network: Optional[Network] = None):
+    ``events_per_color`` holds, per launch point, the communication events
+    the staging and output-coherence analysis emitted (in order);
+    ``residency_after`` snapshots the residency the launch left behind so a
+    replay restores the identical state; ``post_state`` is the symbolic
+    state token the runtime transitions to, which lets a *chain* of
+    launches replay end-to-end.
+    """
+
+    procs: List[int]
+    events_per_color: List[Tuple[CommEvent, ...]]
+    residency_after: Dict[int, Dict[int, List[IndexSubset]]]
+    post_state: Tuple
+    #: Strong references to the partitions named in the trace key.  Keys
+    #: embed ``id(partition)``; pinning the objects keeps those ids
+    #: unambiguous for the trace's lifetime (a freed partition's address
+    #: could otherwise be recycled by an unrelated one).
+    pinned: Tuple = ()
+
+
+class Runtime:
+    """Launches index tasks over a :class:`Machine` and accounts their cost.
+
+    ``trace_replay`` (default on) enables mapping-trace recording/replay
+    for repeated launches; see the module docstring for the protocol.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        network: Optional[Network] = None,
+        *,
+        trace_replay: bool = True,
+    ):
         self.machine = machine
         self.network = network if network is not None else Network.legion()
         self.metrics = ExecutionMetrics()
+        self.trace_replay = trace_replay
+        self.trace_hits = 0
+        self.trace_records = 0
         self._residency: Dict[int, _Residency] = {}
         self._home: Dict[int, List[Tuple[IndexSubset, int]]] = {}
+        self._traces: Dict[Tuple, MappingTrace] = {}
+        self._homes_version = 0
+        self._state_counter = itertools.count(1)
+        self._state: Tuple = ("clean", 0)
+
+    def _mark_dirty(self) -> None:
+        """Move to a fresh residency state no recorded trace starts from."""
+        self._state = ("dirty", next(self._state_counter))
+
+    def _homes_changed(self) -> None:
+        """Home placements changed.  From a clean state (residency == homes)
+        a ``place*`` keeps residency == homes, so the result is the *new*
+        clean state; from any other state the result is unknown."""
+        self._homes_version += 1
+        if self._state[0] == "clean":
+            self._state = ("clean", self._homes_version)
+        else:
+            self._mark_dirty()
 
     # -- data placement -----------------------------------------------------
     def place(
@@ -133,6 +220,7 @@ class Runtime:
             proc = proc_map(color) if proc_map else self._default_proc(color, i)
             res.add(proc, subset)
             homes.append((subset, proc))
+        self._homes_changed()
         self._check_capacity_all(region)
 
     def place_replicated(self, region: Region) -> None:
@@ -143,6 +231,7 @@ class Runtime:
         for p in range(self.machine.size):
             res.add(p, full)
             homes.append((full, p))
+        self._homes_changed()
         self._check_capacity_all(region)
 
     def place_on(self, region: Region, proc: int) -> None:
@@ -151,6 +240,7 @@ class Runtime:
         full = region.ispace.full_subset()
         res.add(proc, full)
         self._home.setdefault(region.uid, []).append((full, proc))
+        self._homes_changed()
 
     def _default_proc(self, color: Color, ordinal: int) -> int:
         if isinstance(color, (int, np.integer)):
@@ -191,19 +281,139 @@ class Runtime:
         returned :class:`Work` to seconds, and (4) applies write/reduction
         coherence.  Reduction requirements additionally charge the cost of
         sending each non-owner's partial back to the sub-region's home.
+
+        When ``trace_replay`` is enabled and an identical launch already ran
+        from the current residency state, steps (1), (2) and (4) are
+        replayed from the recorded :class:`MappingTrace` instead of
+        re-running the subset algebra; step (3) always executes.
         """
+        procs = [
+            proc_map(color) if proc_map else self._default_proc(color, ordinal)
+            for ordinal, color in enumerate(colors)
+        ]
+        trace_key = None
+        if not self.trace_replay:
+            # Untracked launches still mutate residency: advance the state so
+            # a later re-enable of trace_replay cannot record from (and then
+            # replay against) a state token that no longer matches reality.
+            self._mark_dirty()
+        else:
+            trace_key = (
+                self._state,
+                name,
+                tuple(colors),
+                tuple(
+                    (
+                        req.region.uid,
+                        id(req.partition) if req.partition is not None else None,
+                        req.privilege.value,
+                        req.streamed,
+                    )
+                    for req in reqs
+                ),
+                tuple(procs),
+                tuple(scratch_bytes(c) for c in colors) if scratch_bytes else None,
+            )
+            trace = self._traces.get(trace_key)
+            if trace is not None:
+                return self._replay_launch(name, colors, task, trace)
+
+        step = self.metrics.new_step(name)
+        events_per_color: List[Tuple[CommEvent, ...]] = []
+        before = self._snapshot_residency() if trace_key is not None else None
+        try:
+            for ordinal, color in enumerate(colors):
+                proc = procs[ordinal]
+                mark = len(step.comm_events)
+                self._stage_inputs(step, color, proc, reqs)
+                if scratch_bytes is not None:
+                    self._check_scratch(proc, scratch_bytes(color), reqs, color)
+                result = task(color)
+                work = result[0] if isinstance(result, tuple) else result
+                step.add_compute(proc, self.machine.proc(proc).seconds_for(work))
+                step.tasks_launched += 1
+                self._apply_outputs(step, color, proc, reqs)
+                events_per_color.append(tuple(step.comm_events[mark:]))
+        except BaseException:
+            # A partial launch (e.g. OOM) leaves an unknown residency state.
+            self._mark_dirty()
+            raise
+        if trace_key is not None:
+            after = self._snapshot_residency()
+            if self._snapshots_equal(before, after):
+                # The launch left residency unchanged (a steady-state loop
+                # with resident data): self-loop so the next identical
+                # launch replays instead of recording forever.
+                post_state = self._state
+            else:
+                post_state = ("post", next(self._state_counter))
+            if len(self._traces) >= 512:  # runaway-recording backstop
+                self._traces.clear()
+            self._traces[trace_key] = MappingTrace(
+                procs=procs,
+                events_per_color=events_per_color,
+                residency_after=after,
+                post_state=post_state,
+                pinned=tuple(req.partition for req in reqs),
+            )
+            self._state = post_state
+            self.trace_records += 1
+        return step
+
+    def _replay_launch(
+        self,
+        name: str,
+        colors: Sequence[Color],
+        task: Callable[[Color], Union[Work, Tuple[Work, float]]],
+        trace: MappingTrace,
+    ) -> StepMetrics:
+        """Re-charge a recorded launch's communication and run the tasks."""
         step = self.metrics.new_step(name)
         for ordinal, color in enumerate(colors):
-            proc = proc_map(color) if proc_map else self._default_proc(color, ordinal)
-            self._stage_inputs(step, color, proc, reqs)
-            if scratch_bytes is not None:
-                self._check_scratch(proc, scratch_bytes(color), reqs, color)
+            proc = trace.procs[ordinal]
+            step.comm_events.extend(trace.events_per_color[ordinal])
             result = task(color)
             work = result[0] if isinstance(result, tuple) else result
             step.add_compute(proc, self.machine.proc(proc).seconds_for(work))
             step.tasks_launched += 1
-            self._apply_outputs(step, color, proc, reqs)
+        self._restore_residency(trace.residency_after)
+        self._state = trace.post_state
+        self.trace_hits += 1
         return step
+
+    @staticmethod
+    def _snapshots_equal(a, b) -> bool:
+        """Structural equality of two residency snapshots (identity-first
+        element compare; cross-type subset equality is never attempted)."""
+        if a.keys() != b.keys():
+            return False
+        for uid, procs_a in a.items():
+            procs_b = b[uid]
+            if procs_a.keys() != procs_b.keys():
+                return False
+            for proc, la in procs_a.items():
+                lb = procs_b[proc]
+                if len(la) != len(lb):
+                    return False
+                for x, y in zip(la, lb):
+                    if x is not y and not (type(x) is type(y) and x == y):
+                        return False
+        return True
+
+    def _snapshot_residency(self) -> Dict[int, Dict[int, List[IndexSubset]]]:
+        return {
+            uid: {proc: list(pieces) for proc, pieces in res.by_proc.items() if pieces}
+            for uid, res in self._residency.items()
+        }
+
+    def _restore_residency(
+        self, snapshot: Dict[int, Dict[int, List[IndexSubset]]]
+    ) -> None:
+        self._residency = {}
+        for uid, by_proc in snapshot.items():
+            res = _Residency()
+            res.by_proc = {proc: list(pieces) for proc, pieces in by_proc.items()}
+            self._residency[uid] = res
 
     # -- staging ---------------------------------------------------------------
     def _stage_inputs(
@@ -321,6 +531,7 @@ class Runtime:
         nbytes = missing * region.data.dtype.itemsize * region._row_width()
         step.comm_events.append(_comm(src, dst_proc, nbytes, self.machine, reason))
         res.add(dst_proc, subset)
+        self._mark_dirty()
         self._check_capacity(region, dst_proc)
 
     # -- capacity ---------------------------------------------------------------
@@ -352,18 +563,32 @@ class Runtime:
             raise OOMError(proc, resident + scratch, p.mem_bytes, what="task scratch")
 
     # -- cache control --------------------------------------------------------
-    def invalidate_caches(self) -> None:
+    def reset_residency(self) -> None:
         """Drop every staged copy, keeping only home placements.
 
         Called between timed trials: data that was *distributed* stays put,
         but copies created by staging (broadcasts, halo pulls) are dropped so
         each trial pays the communication its algorithm inherently performs.
+        Recorded mapping traces are kept — they were recorded from exactly
+        this "homes only" state, so repeat trials replay them.
         """
         self._residency = {}
         for uid, homes in self._home.items():
             res = self._residency.setdefault(uid, _Residency())
             for subset, proc in homes:
                 res.add(proc, subset)
+        self._state = ("clean", self._homes_version)
+
+    def invalidate_caches(self) -> None:
+        """Reset residency to home placements AND drop all mapping traces.
+
+        The conservative hook for out-of-band changes (region data written
+        behind the runtime's back, external repartitioning): replaying a
+        trace recorded before such a change could reuse stale residency, so
+        every trace is dropped and the next launches re-record.
+        """
+        self._traces.clear()
+        self.reset_residency()
 
     # -- results ------------------------------------------------------------------
     def simulated_seconds(self) -> float:

@@ -104,6 +104,12 @@ class Tensor:
         self.levels: List[Union[DenseLevel, CompressedLevel]] = []
         self.vals: Optional[Region] = None
         self.assignment: Optional[Assignment] = None
+        #: Monotone counter identifying this tensor's *sparsity pattern*.
+        #: Bumped whenever the level structure (pos/crd metadata, region
+        #: identity) changes — packing, assembly, pattern adoption — but NOT
+        #: by in-place writes to ``vals.data``.  Caches key on it so that
+        #: value updates reuse partitions while structural changes miss.
+        self.pattern_version: int = 0
         if self.format.is_all_dense():
             self._init_dense_levels()
 
@@ -212,6 +218,15 @@ class Tensor:
 
         return Schedule(self.assignment)
 
+    def _bump_pattern_version(self) -> None:
+        """Record a sparsity-pattern mutation (new levels / metadata regions).
+
+        Invalidates cached partitions and compiled kernels that captured the
+        old structure (their cache keys embed the version).  Value-only
+        writes must not call this.
+        """
+        self.pattern_version += 1
+
     # ------------------------------------------------------------------ #
     # packing (COO -> levels)
     # ------------------------------------------------------------------ #
@@ -228,6 +243,7 @@ class Tensor:
             self.dtype,
             name=f"{self.name}.vals",
         )
+        self._bump_pattern_version()
 
     def _set_dense_values(self, array: np.ndarray) -> None:
         self._init_dense_levels()
@@ -311,6 +327,7 @@ class Tensor:
         )
         if nnz:
             np.add.at(self.vals.data, parent_ids, vals)
+        self._bump_pattern_version()
 
     # ------------------------------------------------------------------ #
     # unpacking

@@ -3,6 +3,8 @@ end-to-end on the scaled machine model (tiny configurations for speed)."""
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # excluded from the fast `-m "not slow"` tier
+
 from repro.bench import default_config
 from repro.bench.figures import (
     ablation_distribution_mismatch,

@@ -136,3 +136,85 @@ class TestGenericMatchesReference:
         expected = evaluate(A.assignment)
         res, _ = evaluate_generic(A.assignment, var_sizes(A.assignment))
         assert np.allclose(densify(res, expected.shape), expected, atol=1e-12)
+
+
+class TestInt64OverflowFallback:
+    """Huge dimension products must not silently overflow the flattened
+    sort keys; the engine falls back to lexsort-based ranking."""
+
+    HUGE = 2**40  # HUGE**3 overflows int64
+
+    def test_fits_int64(self):
+        from repro.kernels import fits_int64
+
+        assert fits_int64([2**31, 2**31])
+        assert not fits_int64([2**31, 2**31, 2**31])
+        assert fits_int64([])
+
+    def test_lex_ranks_orders_and_groups(self):
+        from repro.kernels import lex_ranks
+
+        rows = np.array([[2, 1, 2, 1, 9], [0, 5, 0, 5, 9]])
+        ranks = lex_ranks(rows)
+        assert ranks[0] == ranks[2] and ranks[1] == ranks[3]
+        assert ranks[1] < ranks[0] < ranks[4]  # lexicographic order
+        assert lex_ranks(np.empty((2, 0), dtype=np.int64)).size == 0
+
+    def test_key_for_huge_sizes_groups_consistently(self):
+        from repro.kernels import CooData
+
+        i, j, k = index_vars("i j k")
+        coords = np.array([[1, 1, 5], [2, 2, 6], [3, 3, 7]], dtype=np.int64)
+        data = CooData((i, j, k), coords, np.array([1.0, 2.0, 3.0]))
+        key = data.key_for([i, j, k], {i: self.HUGE, j: self.HUGE, k: self.HUGE})
+        assert key[0] == key[1] != key[2]
+
+    def test_reduction_with_huge_dims(self):
+        """Sum-reduce a mode of a fragment whose shape product overflows."""
+        from repro.kernels.generic_coo import CooData, _reduce_to
+
+        i, j, k = index_vars("i j k")
+        big = self.HUGE - 1
+        coords = np.array(
+            [[0, 0, big, big], [1, 1, 7, 7], [0, 5, big, 3]], dtype=np.int64
+        )
+        t = CooData((i, j, k), coords, np.array([1.0, 2.0, 3.0, 4.0]))
+        res = _reduce_to(t, [i, j], {i: self.HUGE, j: self.HUGE, k: self.HUGE})
+        got = {(int(a), int(b)): v for a, b, v in zip(*res.coords, res.vals)}
+        assert got == {(0, 1): 3.0, (big, 7): 7.0}
+
+    def test_join_with_huge_dims_matches_small_dims(self):
+        """The same nonzeros under huge vs small declared dims must join
+        identically (coordinates are what matter, not the extents)."""
+        i, j, k = index_vars("i j k")
+        rb = np.random.default_rng(5)
+        nb, nc = 40, 30
+        bc = [rb.integers(0, 50, nb), rb.integers(0, 50, nb)]
+        cc = [rb.integers(0, 50, nc), rb.integers(0, 50, nc)]
+        bv, cv = rb.random(nb), rb.random(nc)
+
+        def run(extent):
+            from repro.kernels.generic_coo import CooData, _multiply
+
+            B = CooData((i, k), np.stack([np.asarray(c, np.int64) for c in bc]), bv)
+            C = CooData((j, k), np.stack([np.asarray(c, np.int64) for c in cc]), cv)
+            sizes = {i: extent, j: extent, k: extent}
+            prod, _ = _multiply(B, C, sizes)
+            out = {}
+            for col in range(prod.nnz):
+                key = tuple(int(prod.coords[d, col]) for d in range(3))
+                out[key] = out.get(key, 0.0) + float(prod.vals[col])
+            return out
+
+        small = run(50)
+        huge = run(self.HUGE)
+        assert small.keys() == huge.keys()
+        for kk_ in small:
+            assert small[kk_] == pytest.approx(huge[kk_])
+
+
+    def test_lex_ranks_accepts_1d_input(self):
+        from repro.kernels import lex_ranks
+
+        ranks = lex_ranks(np.array([3, 1, 2, 1]))
+        assert list(ranks) == [2, 0, 1, 0]

@@ -1,0 +1,214 @@
+"""Mapping-trace replay: record, replay, state tracking, invalidation."""
+import numpy as np
+import pytest
+
+from repro.legion import (
+    IndexSpace,
+    Machine,
+    Partition,
+    Privilege,
+    Rect,
+    RectSubset,
+    Region,
+    RegionReq,
+    Runtime,
+    Work,
+    equal_partition,
+)
+
+
+def make_rt(nodes=2, **kw):
+    return Runtime(Machine.cpu(nodes), **kw)
+
+
+def mismatched(rt, n=8):
+    """A region whose home placement mismatches the launch partition, so
+    every fresh-trial launch stages real communication."""
+    r = Region(IndexSpace(n))
+    home = Partition(r.ispace, {0: RectSubset(Rect(0, n - 3)),
+                                1: RectSubset(Rect(n - 2, n - 1))})
+    rt.place(r, home)
+    req = equal_partition(r.ispace, 2)
+    return r, [RegionReq(r, req, Privilege.READ_ONLY)]
+
+
+class TestRecordReplay:
+    def test_second_trial_replays_identical_comm(self):
+        rt = make_rt()
+        r, reqs = mismatched(rt)
+        s1 = rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        assert rt.trace_records == 1
+        rt.reset_residency()
+        s2 = rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        assert rt.trace_hits == 1
+        assert s1.comm_bytes() == s2.comm_bytes() > 0
+        assert [(e.src_proc, e.dst_proc, e.nbytes) for e in s1.comm_events] == \
+               [(e.src_proc, e.dst_proc, e.nbytes) for e in s2.comm_events]
+        assert s1.tasks_launched == s2.tasks_launched
+        assert s1.compute_seconds == s2.compute_seconds
+
+    def test_replay_matches_unreplayed_runtime(self):
+        """Replayed metrics are bit-identical to a replay-disabled runtime."""
+        results = []
+        for replay in (True, False):
+            rt = make_rt(trace_replay=replay)
+            r, reqs = mismatched(rt)
+            steps = []
+            for _ in range(3):
+                rt.reset_residency()
+                steps.append(rt.index_launch("t", [0, 1], lambda c: Work(2, 5), reqs))
+            results.append([
+                (s.comm_bytes(), s.tasks_launched, dict(s.compute_seconds),
+                 [(e.src_proc, e.dst_proc, e.nbytes, e.same_node)
+                  for e in s.comm_events])
+                for s in steps
+            ])
+        assert results[0] == results[1]
+
+    def test_tasks_still_execute_on_replay(self):
+        rt = make_rt()
+        r, reqs = mismatched(rt)
+        calls = []
+        rt.index_launch("t", [0, 1], lambda c: calls.append(c) or Work(1, 1), reqs)
+        rt.reset_residency()
+        rt.index_launch("t", [0, 1], lambda c: calls.append(c) or Work(1, 1), reqs)
+        assert calls == [0, 1, 0, 1]  # values may change: bodies always run
+
+    def test_chained_launches_replay(self):
+        rt = make_rt()
+        r, reqs = mismatched(rt)
+        rt.index_launch("a", [0, 1], lambda c: Work(1, 1), reqs)
+        rt.index_launch("b", [0, 1], lambda c: Work(1, 1), reqs)
+        assert rt.trace_records == 2
+        rt.reset_residency()
+        rt.index_launch("a", [0, 1], lambda c: Work(1, 1), reqs)
+        rt.index_launch("b", [0, 1], lambda c: Work(1, 1), reqs)
+        assert rt.trace_hits == 2
+
+    def test_residency_restored_after_replay(self):
+        rt = make_rt()
+        r, reqs = mismatched(rt)
+        rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        cov1 = rt._residency[r.uid].covered_volume(1, reqs[0].partition[1])
+        rt.reset_residency()
+        rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        cov2 = rt._residency[r.uid].covered_volume(1, reqs[0].partition[1])
+        assert cov1 == cov2 == reqs[0].partition[1].volume
+
+
+class TestStateTracking:
+    def test_different_launch_name_records_fresh(self):
+        rt = make_rt()
+        r, reqs = mismatched(rt)
+        rt.index_launch("a", [0, 1], lambda c: Work(1, 1), reqs)
+        rt.reset_residency()
+        rt.index_launch("b", [0, 1], lambda c: Work(1, 1), reqs)
+        assert rt.trace_hits == 0 and rt.trace_records == 2
+
+    def test_out_of_band_place_prevents_replay(self):
+        rt = make_rt()
+        r, reqs = mismatched(rt)
+        rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        rt.reset_residency()
+        other = Region(IndexSpace(4))
+        rt.place_on(other, 1)  # residency changed out of band
+        rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        assert rt.trace_hits == 0 and rt.trace_records == 2
+
+    def test_copy_subset_prevents_replay(self):
+        rt = make_rt()
+        r, reqs = mismatched(rt)
+        rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        rt.reset_residency()
+        step = rt.metrics.new_step("copy")
+        rt.copy_subset(step, r, RectSubset(Rect(0, 3)), 1)
+        rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        assert rt.trace_hits == 0
+
+    def test_invalidate_caches_drops_traces(self):
+        rt = make_rt()
+        r, reqs = mismatched(rt)
+        rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        rt.invalidate_caches()  # out-of-band write hook
+        rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        assert rt.trace_hits == 0 and rt.trace_records == 2
+
+    def test_reset_residency_keeps_traces(self):
+        rt = make_rt()
+        r, reqs = mismatched(rt)
+        rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        rt.reset_residency()
+        rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        assert rt.trace_hits == 1
+
+    def test_disabled_replay_never_records(self):
+        rt = make_rt(trace_replay=False)
+        r, reqs = mismatched(rt)
+        rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        rt.reset_residency()
+        rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        assert rt.trace_records == 0 and rt.trace_hits == 0
+
+
+class TestReductionReplay:
+    def test_reduce_comm_replayed(self):
+        rt = make_rt()
+        out = Region(IndexSpace(10))
+        part = Partition(out.ispace, {0: RectSubset(Rect(0, 5)),
+                                      1: RectSubset(Rect(5, 9))})
+        rt.place(out, part)
+        reqs = [RegionReq(out, part, Privilege.REDUCE)]
+        s1 = rt.index_launch("r", [0, 1], lambda c: Work(1, 1), reqs)
+        rt.reset_residency()
+        s2 = rt.index_launch("r", [0, 1], lambda c: Work(1, 1), reqs)
+        assert rt.trace_hits == 1
+        assert s1.comm_bytes() == s2.comm_bytes() == 2 * 1 * 8
+
+
+class TestSteadyStateLoops:
+    def test_resident_data_loop_replays_without_reset(self):
+        """fresh_trial=False style loops (no reset between launches) reach a
+        residency fixpoint and replay instead of re-recording forever."""
+        rt = make_rt()
+        r, reqs = mismatched(rt)
+        for _ in range(10):
+            rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        # launch 1 stages (records), launch 2 records the fixpoint state,
+        # launches 3..10 replay it
+        assert rt.trace_records == 2
+        assert rt.trace_hits == 8
+        assert len(rt._traces) == 2
+
+    def test_write_loop_reaches_fixpoint(self):
+        rt = make_rt()
+        out = Region(IndexSpace(8))
+        part = equal_partition(out.ispace, 2)
+        rt.place(out, part)
+        reqs = [RegionReq(out, part, Privilege.WRITE_DISCARD)]
+        for _ in range(6):
+            rt.index_launch("w", [0, 1], lambda c: Work(1, 1), reqs)
+        assert rt.trace_hits >= 4  # steady state replays
+
+    def test_duplicate_residency_adds_are_skipped(self):
+        rt = make_rt()
+        r = Region(IndexSpace(8))
+        rt.place_on(r, 0)
+        res = rt._residency[r.uid]
+        n = len(res.by_proc[0])
+        res.add(0, r.ispace.full_subset())
+        assert len(res.by_proc[0]) == n  # structurally equal: not re-added
+
+    def test_reenabling_replay_after_untracked_launch_is_safe(self):
+        """Launches with trace_replay off mutate residency; flipping the
+        flag back on must not record from (and replay against) a stale
+        'clean' state token."""
+        rt = make_rt()
+        r, reqs = mismatched(rt)
+        rt.trace_replay = False
+        s_warm = rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        rt.trace_replay = True
+        rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)  # records (warm)
+        rt.reset_residency()  # true homes-only state
+        s_cold = rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        # the cold launch must re-pay staging, not replay the warm trace
+        assert s_cold.comm_bytes() == s_warm.comm_bytes() > 0
