@@ -1,0 +1,63 @@
+"""Warm-start benchmark: cross-process compile-once / run-many.
+
+A parent process packs a tensor, warms every amortization layer (kernel
+cache, partition memo, mapping traces) and saves the artifact
+(:mod:`repro.core.store`); a *fresh* process loads it and must reach
+cached steady-state on its very first execution:
+
+* first compile hits the kernel cache (no recompilation),
+* zero partition-memo misses (no coordinate-tree re-partitioning),
+* first execute replays the stored mapping trace (no re-record), and
+* simulated metrics are bit-identical to the parent's in-process cached
+  path (caching — in-process or persistent — never changes what the
+  simulator simulates).
+
+The measured statistic is ``warmstart_speedup``: a cold process's first
+iteration (pack + compile + partition + record) over the warm process's
+first iteration (load + replay).  Each run appends a
+``BENCH_warmstart_<timestamp>.json`` next to this file;
+``tools/bench_check.py`` compares a fresh run against the latest baseline
+and fails on >20% regression of the speedup.
+"""
+from pathlib import Path
+
+import pytest
+
+from repro.bench.warmstart import run_warmstart, write_warmstart_report
+from repro.core import clear_caches
+
+HERE = Path(__file__).resolve().parent
+
+
+@pytest.mark.benchmark(group="warmstart")
+def test_warmstart_first_execute_is_steady_state(benchmark):
+    clear_caches()
+    result = run_warmstart(iterations=20)
+
+    # pytest-benchmark times one full scenario pass at a reduced scale.
+    def small():
+        clear_caches()
+        return run_warmstart(n=2000, density=1e-3, pieces=4,
+                             warm_iterations=2, iterations=3)
+
+    benchmark.pedantic(small, rounds=1, iterations=1)
+    benchmark.extra_info["warmstart_speedup"] = round(result.warmstart_speedup, 2)
+    benchmark.extra_info["cold_first_ms"] = round(result.cold_first_s * 1e3, 4)
+    benchmark.extra_info["warm_first_ms"] = round(result.warm_first_s * 1e3, 4)
+    path = write_warmstart_report(result, HERE)
+    benchmark.extra_info["report"] = str(path)
+
+    # The warm-start contract: a fresh process is at steady state on its
+    # first execution.
+    assert result.warm_first_hit_kernel_cache
+    assert result.warm_first_partition_misses == 0
+    assert result.warm_first_trace_records == 0
+    assert result.warm_first_trace_hits >= 1
+    # Persistence is a wall-clock optimization, never a simulation change.
+    assert result.metrics_bit_identical
+    assert result.checksum_bit_identical
+    # And it must actually pay off against a cold process.
+    assert result.warmstart_speedup >= 2.0, (
+        f"warm-start first execute only {result.warmstart_speedup:.2f}x "
+        "faster than a cold process's"
+    )

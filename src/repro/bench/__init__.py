@@ -12,6 +12,7 @@ from .harness import (
 )
 from .baseline_runners import ctf_run, petsc_run, trilinos_run
 from .iterative import IterativeResult, run_iterative_spmv
+from .warmstart import WarmstartParams, WarmstartResult, run_warmstart
 from .reporting import format_heatmap, format_scaling, format_table, geomean
 from . import figures
 
@@ -22,6 +23,7 @@ __all__ = [
     "spdistal_spmttkrp", "spdistal_spmv", "spdistal_spttv",
     "ctf_run", "petsc_run", "trilinos_run",
     "IterativeResult", "run_iterative_spmv",
+    "WarmstartParams", "WarmstartResult", "run_warmstart",
     "format_heatmap", "format_scaling", "format_table", "geomean",
     "figures",
 ]

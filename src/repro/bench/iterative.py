@@ -20,6 +20,7 @@ it simulates (checked by ``tests/integration`` and the benchmark).
 """
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -36,7 +37,35 @@ from ..taco.index_vars import index_vars
 from ..taco.tensor import Tensor
 from .models import BenchConfig, default_config
 
-__all__ = ["IterativeResult", "run_iterative_spmv", "write_bench_report"]
+__all__ = [
+    "IterativeResult",
+    "build_spmv_workload",
+    "spmv_iteration_schedule",
+    "run_iterative_spmv",
+    "write_bench_report",
+]
+
+
+def build_spmv_workload(n: int, density: float, seed: int):
+    """The scenario's tensors: a shifted random CSR matrix ``B`` and the
+    power-iteration vectors ``c``/``a``.  Shared by the iterative and
+    warm-start scenarios so both benchmarks measure the same kernel."""
+    rng = np.random.default_rng(seed)
+    A = sp.random(n, n, density=density, random_state=rng, format="csr")
+    A.data += 1.0  # keep the iteration away from cancellation
+    B = Tensor.from_scipy("B", A, CSR)
+    c = Tensor.from_dense("c", rng.random(n))
+    a = Tensor.zeros("a", (n,))
+    return B, c, a
+
+
+def spmv_iteration_schedule(B: Tensor, c: Tensor, a: Tensor, pieces: int):
+    """One solver step's schedule, rebuilt from fresh index variables the
+    way a solver library re-enters the compiler."""
+    i, j, io, ii = index_vars("i j io ii")
+    a[i] = B[i, j] * c[j]
+    return (a.schedule().divide(i, io, ii, pieces).distribute(io)
+            .communicate([a, B, c], io).parallelize(ii))
 
 
 @dataclass
@@ -91,16 +120,11 @@ def run_iterative_spmv(
     matrix, rebuilding the schedule per step.  ``cached=False`` forces the
     seed path (no kernel/partition caches, no mapping-trace replay)."""
     cfg = cfg or default_config()
-    rng = np.random.default_rng(seed)
-    A = sp.random(n, n, density=density, random_state=rng, format="csr")
-    A.data += 1.0  # keep the iteration away from cancellation
     machine = cfg.cpu_machine(pieces) if hasattr(cfg, "cpu_machine") else None
     if machine is None:  # pragma: no cover - BenchConfig always has it
         raise RuntimeError("config lacks cpu_machine")
 
-    B = Tensor.from_scipy("B", A, CSR)
-    c = Tensor.from_dense("c", rng.random(n))
-    a = Tensor.zeros("a", (n,))
+    B, c, a = build_spmv_workload(n, density, seed)
     network = cfg.legion_network()
     # Cached runs keep one runtime so mapping traces accumulate and replay;
     # the seed path builds a fresh runtime per step (as the harness does per
@@ -111,17 +135,14 @@ def run_iterative_spmv(
     hits0 = _cache.cache_stats()["kernel_hits"]
 
     def step() -> ExecutionMetrics:
-        i, j, io, ii = index_vars("i j io ii")
-        a[i] = B[i, j] * c[j]
-        s = (a.schedule().divide(i, io, ii, pieces).distribute(io)
-             .communicate([a, B, c], io).parallelize(ii))
+        s = spmv_iteration_schedule(B, c, a, pieces)
         ck = compile_kernel(s, machine, use_cache=cached)
         step_rt = rt if rt is not None else Runtime(machine, network,
                                                    trace_replay=False)
         res = ck.execute(step_rt)
         return res.metrics
 
-    with _cache.caches_disabled() if not cached else _noop():
+    with _cache.caches_disabled() if not cached else contextlib.nullcontext():
         for _ in range(iterations):
             t0 = time.perf_counter()
             m = step()
@@ -150,14 +171,6 @@ def run_iterative_spmv(
         kernel_cache_hits=_cache.cache_stats()["kernel_hits"] - hits0,
         metrics=mets,
     )
-
-
-class _noop:
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc):
-        return False
 
 
 def write_bench_report(

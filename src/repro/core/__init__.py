@@ -7,12 +7,14 @@ assembly (§V-B).
 """
 from .plan import PartitioningPlan, PlanStmt
 from .cache import (
+    cache_budgets,
     cache_stats,
     caches_disabled,
     caches_enabled,
     clear_caches,
     invalidate_tensor,
     kernel_fingerprint,
+    set_cache_budget,
     set_cache_enabled,
 )
 from .levels import (
@@ -37,11 +39,19 @@ from .compiler import (
     classify,
     compile_kernel,
 )
+from .store import (
+    PackedArtifact,
+    load_packed,
+    read_manifest,
+    save_packed,
+    stable_fingerprint,
+)
 
 __all__ = [
     "PartitioningPlan", "PlanStmt",
-    "cache_stats", "caches_disabled", "caches_enabled", "clear_caches",
-    "invalidate_tensor", "kernel_fingerprint", "set_cache_enabled",
+    "cache_budgets", "cache_stats", "caches_disabled", "caches_enabled",
+    "clear_caches", "invalidate_tensor", "kernel_fingerprint",
+    "set_cache_budget", "set_cache_enabled",
     "CompressedLevelFunctions", "DenseLevelFunctions", "LevelFunctions",
     "level_functions_for", "shrink_dense_partition",
     "TensorPartition", "partition_dense_tensor", "partition_tensor",
@@ -49,4 +59,6 @@ __all__ = [
     "adopt_pattern", "install_assembled_output", "pattern_source", "scan_counts",
     "CompiledKernel", "ExecutionResult", "KernelClass", "Piece",
     "classify", "compile_kernel",
+    "PackedArtifact", "load_packed", "read_manifest", "save_packed",
+    "stable_fingerprint",
 ]

@@ -83,6 +83,13 @@ def install_assembled_output(
     """Phase-1 result of two-phase assembly: size and install the output.
 
     Returns ``(pos, crd, vals)`` arrays for the fill phase to write into.
+
+    Bumps the output's ``pattern_version`` (consumers of ``out`` must see
+    the structural change) *and* its ``assembly_version``.  Kernel
+    fingerprints of assembled statements exclude the LHS pattern version
+    (see :func:`repro.core.cache.is_assembled_output`), so re-executing the
+    same SpAdd statement hits the kernel cache and replays its mapping
+    traces instead of re-recording every iteration.
     """
     if len(out.levels) != 2 or not isinstance(out.levels[1], CompressedLevel):
         # (Re)build the level structure of a CSR output from scratch.
@@ -109,5 +116,6 @@ def install_assembled_output(
             IndexSpace(total, name=f"{out.name}_vals"), out.dtype, name=f"{out.name}.vals"
         )
     out._bump_pattern_version()
+    out._bump_assembly_version()
     lvl = out.levels[1]
     return lvl.pos.data, lvl.crd.data, out.vals.data

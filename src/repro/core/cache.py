@@ -31,9 +31,22 @@ Keys embed ``Tensor.pattern_version``; a pattern bump self-invalidates all
 dependent entries.  Explicit hooks are also provided: call
 :func:`invalidate_tensor` after out-of-band structural surgery on a
 tensor, or :func:`clear_caches` to drop everything (tests use this for
-isolation).  Both caches are bounded LRUs; entries hold strong references
-to their tensors, which keeps ``id``-based keys unambiguous (an id can
-only be reused after the entry — and thus the reference — is evicted).
+isolation).  Both caches are *size-aware* LRUs: every entry is charged an
+estimated byte cost (the partition subsets and plan statements it pins,
+plus, for kernels, the pieces and partitions of the compiled artifact) and
+the least-recently-used entries are evicted once the cache's byte budget
+(:func:`set_cache_budget`) is exceeded.  Entries hold strong references to
+their tensors, which keeps ``id``-based keys unambiguous (an id can only
+be reused after the entry — and thus the reference — is evicted).
+
+Persistence
+-----------
+:mod:`repro.core.store` serializes cache entries next to packed tensors so
+a fresh process warm-starts to the amortized regime.
+:func:`iter_kernel_entries` / :func:`iter_partition_entries` expose the
+live entries for export; on import the store re-keys them under the new
+process's object identities and calls :func:`store_kernel` /
+:func:`store_partition` as usual.
 
 Use :func:`set_cache_enabled` (or the :func:`caches_disabled` context
 manager) to force the uncached paths, e.g. when benchmarking the seed
@@ -44,8 +57,9 @@ from __future__ import annotations
 import contextlib
 from collections import OrderedDict
 from dataclasses import astuple
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
+from ..legion.index_space import ArraySubset
 from ..taco.expr import Access, Add, Assignment, Literal, Mul
 from ..taco.schedule import FuseRel, PosRel, Schedule, SplitRel
 
@@ -57,16 +71,28 @@ __all__ = [
     "store_partition",
     "partition_cache_key",
     "dense_partition_cache_key",
+    "iter_kernel_entries",
+    "iter_partition_entries",
     "invalidate_tensor",
     "clear_caches",
     "cache_stats",
+    "set_cache_budget",
+    "cache_budgets",
     "set_cache_enabled",
     "caches_enabled",
     "caches_disabled",
 ]
 
-_KERNEL_CACHE_SIZE = 128
-_PARTITION_CACHE_SIZE = 512
+MiB = 1024 * 1024
+#: Default byte budgets.  These bound what the *caches* pin beyond the
+#: tensors the user already holds: partition subsets (index arrays for
+#: irregular colors), plan statements and compiled-kernel scaffolding.
+_KERNEL_CACHE_BUDGET = 64 * MiB
+_PARTITION_CACHE_BUDGET = 128 * MiB
+#: Entry-count backstops so a flood of tiny entries cannot balloon the
+#: key/bookkeeping overhead past the byte accounting.
+_KERNEL_CACHE_MAX_ENTRIES = 512
+_PARTITION_CACHE_MAX_ENTRIES = 4096
 
 _enabled = True
 
@@ -76,18 +102,28 @@ class Unfingerprintable(Exception):
     canonicalize; the caller falls back to an uncached compile."""
 
 
-class _LRU:
-    """A small bounded LRU map with hit/miss counters."""
+class _SizedLRU:
+    """A byte-budgeted LRU map with hit/miss/eviction counters.
 
-    def __init__(self, maxsize: int):
-        self.maxsize = maxsize
-        self._map: "OrderedDict[Hashable, Any]" = OrderedDict()
+    Every entry carries an estimated byte cost; :meth:`put` evicts from the
+    least-recently-used end until the total fits ``budget_bytes`` (and the
+    entry count fits ``max_entries``).  The entry being inserted is never
+    evicted, so a single oversized entry still caches — run-many workloads
+    over one huge tensor must not silently lose their only entry.
+    """
+
+    def __init__(self, budget_bytes: int, max_entries: int):
+        self.budget_bytes = int(budget_bytes)
+        self.max_entries = int(max_entries)
+        self._map: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
+        self.total_bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: Hashable) -> Optional[Any]:
         try:
-            value = self._map[key]
+            value, _ = self._map[key]
         except KeyError:
             self.misses += 1
             return None
@@ -95,27 +131,91 @@ class _LRU:
         self.hits += 1
         return value
 
-    def put(self, key: Hashable, value: Any) -> None:
-        self._map[key] = value
-        self._map.move_to_end(key)
-        while len(self._map) > self.maxsize:
-            self._map.popitem(last=False)
+    def put(self, key: Hashable, value: Any, nbytes: int) -> None:
+        nbytes = max(int(nbytes), 1)
+        old = self._map.pop(key, None)
+        if old is not None:
+            self.total_bytes -= old[1]
+        self._map[key] = (value, nbytes)
+        self.total_bytes += nbytes
+        while len(self._map) > 1 and (
+            self.total_bytes > self.budget_bytes or len(self._map) > self.max_entries
+        ):
+            _, (_, dropped) = self._map.popitem(last=False)
+            self.total_bytes -= dropped
+            self.evictions += 1
+
+    def resize(self, budget_bytes: int) -> None:
+        self.budget_bytes = int(budget_bytes)
+        while len(self._map) > 1 and self.total_bytes > self.budget_bytes:
+            _, (_, dropped) = self._map.popitem(last=False)
+            self.total_bytes -= dropped
+            self.evictions += 1
 
     def drop_if(self, pred) -> int:
-        doomed = [k for k, v in self._map.items() if pred(k, v)]
+        doomed = [k for k, (v, _) in self._map.items() if pred(k, v)]
         for k in doomed:
-            del self._map[k]
+            self.total_bytes -= self._map.pop(k)[1]
         return len(doomed)
+
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        for k, (v, _) in self._map.items():
+            yield k, v
 
     def clear(self) -> None:
         self._map.clear()
+        self.total_bytes = 0
 
     def __len__(self) -> int:
         return len(self._map)
 
 
-_kernel_cache = _LRU(_KERNEL_CACHE_SIZE)
-_partition_cache = _LRU(_PARTITION_CACHE_SIZE)
+_kernel_cache = _SizedLRU(_KERNEL_CACHE_BUDGET, _KERNEL_CACHE_MAX_ENTRIES)
+_partition_cache = _SizedLRU(_PARTITION_CACHE_BUDGET, _PARTITION_CACHE_MAX_ENTRIES)
+
+
+# --------------------------------------------------------------------------- #
+# entry byte accounting
+# --------------------------------------------------------------------------- #
+def _subset_nbytes(subset) -> int:
+    """Estimated bytes a partition color's subset pins beyond the tensor."""
+    if subset is None:
+        return 0
+    if isinstance(subset, ArraySubset):
+        return int(subset.indices().nbytes) + 64
+    return 64  # RectSubset / EMPTY: a handful of ints
+
+
+def _legion_partition_nbytes(part) -> int:
+    if part is None:
+        return 0
+    return sum(_subset_nbytes(s) for s in part.subsets.values()) + 64
+
+
+def partition_entry_nbytes(partition, plan_stmts=()) -> int:
+    """Estimated bytes a :class:`TensorPartition` memo entry holds."""
+    total = 256  # dataclass scaffolding, colors list
+    for p in partition.level_positions:
+        total += _legion_partition_nbytes(p)
+    for p in partition.level_pos_parts:
+        total += _legion_partition_nbytes(p)
+    total += _legion_partition_nbytes(partition.vals_part)
+    total += 128 * len(tuple(plan_stmts))
+    return total
+
+
+def kernel_entry_nbytes(kernel) -> int:
+    """Estimated bytes a compiled-kernel cache entry holds.
+
+    Partitions shared with the partition memo are charged to both caches;
+    the double count is deliberate — either cache must stay within its own
+    budget even if the other is cleared.
+    """
+    total = 1024  # schedule, plan, roles, closures
+    total += 256 * len(getattr(kernel, "pieces", ()))
+    for part in getattr(kernel, "parts", {}).values():
+        total += partition_entry_nbytes(part)
+    return total
 
 
 # --------------------------------------------------------------------------- #
@@ -140,6 +240,27 @@ def caches_disabled():
         yield
     finally:
         _enabled = prev
+
+
+def set_cache_budget(
+    kernel_bytes: Optional[int] = None, partition_bytes: Optional[int] = None
+) -> None:
+    """Set the byte budgets of the kernel / partition caches.
+
+    Shrinking a budget evicts LRU entries immediately.  Pass ``None`` to
+    leave a budget unchanged.  See ``docs/caching.md`` for tuning guidance.
+    """
+    if kernel_bytes is not None:
+        _kernel_cache.resize(kernel_bytes)
+    if partition_bytes is not None:
+        _partition_cache.resize(partition_bytes)
+
+
+def cache_budgets() -> Dict[str, int]:
+    return {
+        "kernel_bytes": _kernel_cache.budget_bytes,
+        "partition_bytes": _partition_cache.budget_bytes,
+    }
 
 
 # --------------------------------------------------------------------------- #
@@ -187,6 +308,36 @@ def _format_signature(fmt) -> Tuple:
 
 def _tensor_state(t) -> Tuple:
     return (t.pattern_version, t.shape, _format_signature(t.format), t.dtype.str)
+
+
+def _assembled_output_state(t) -> Tuple:
+    """Tensor state of an *assembled* output (SpAdd-style unknown pattern).
+
+    Executing such a statement rebuilds the output's level structure from
+    scratch and bumps its ``pattern_version`` — the version the kernel
+    *produces*, not one it consumes.  Keying the fingerprint on it would
+    make every iteration of ``A = B + C + D`` recompile (and re-record its
+    mapping traces); the output pattern is versioned separately
+    (``Tensor.assembly_version``) and excluded here.  Shape, format and
+    dtype still participate: those the compiled kernel does assume.
+    """
+    return ("out", t.shape, _format_signature(t.format), t.dtype.str)
+
+
+def is_assembled_output(asg: Assignment) -> bool:
+    """True when the statement assembles its sparse output's pattern anew:
+    a sum of accesses aligned with a sparse LHS.  This is the single
+    source of truth for the SpAdd shape — ``repro.core.compiler.classify``
+    calls it to pick the spadd lowering, and :func:`kernel_fingerprint`
+    calls it to exclude the LHS pattern version, so the two can never
+    drift (a statement lowered as spadd is always fingerprinted as one)."""
+    lhs, rhs = asg.lhs, asg.rhs
+    if not isinstance(rhs, Add) or lhs.tensor.format.is_all_dense():
+        return False
+    ops = rhs.operands
+    return len(ops) >= 2 and all(
+        isinstance(o, Access) and o.indices == lhs.indices for o in ops
+    )
 
 
 _machine_sigs: Dict[int, Tuple[Any, Tuple]] = {}
@@ -244,7 +395,21 @@ def kernel_fingerprint(schedule: Schedule, machine) -> Tuple:
         ),
     )
     tensor_ids = tuple(id(t) for t in canon.tensors)
-    tensor_states = tuple(_tensor_state(t) for t in canon.tensors)
+    assembled = None
+    if is_assembled_output(asg) and not asg.accumulate:
+        lhs_t = asg.lhs.tensor
+        # Exclude the LHS version only when the statement does not *read*
+        # the LHS: an aliased SpAdd (``A = B + A``) consumes A's pattern
+        # as an input, so its version must stay in the key (each
+        # re-assembly then recompiles, as on the seed path).  The
+        # ``accumulate`` sugar (``A = A + B + C``) strips A from the
+        # operands but still reads it, hence the explicit flag check.
+        if all(o.tensor is not lhs_t for o in asg.rhs.operands):
+            assembled = lhs_t
+    tensor_states = tuple(
+        _assembled_output_state(t) if t is assembled else _tensor_state(t)
+        for t in canon.tensors
+    )
     return (sched_sig, tensor_ids, tensor_states, _machine_signature(machine))
 
 
@@ -263,7 +428,15 @@ def store_kernel(key: Tuple, kernel, tensors: List[Any]) -> None:
     """Store a compiled kernel; ``tensors`` pins the identities in the key."""
     if not _enabled:
         return
-    _kernel_cache.put(key, (kernel, tuple(tensors)))
+    _kernel_cache.put(key, (kernel, tuple(tensors)), kernel_entry_nbytes(kernel))
+
+
+def iter_kernel_entries() -> Iterator[Tuple[Tuple, Any, Tuple]]:
+    """Yield every live kernel entry as ``(key, kernel, pinned_tensors)``
+    (LRU order, oldest first).  Used by :mod:`repro.core.store` to export
+    the cache next to packed tensors."""
+    for key, (kernel, tensors) in _kernel_cache.items():
+        yield key, kernel, tensors
 
 
 # --------------------------------------------------------------------------- #
@@ -309,7 +482,17 @@ def lookup_partition(key: Tuple):
 def store_partition(key: Tuple, partition, plan_stmts) -> None:
     if not _enabled:
         return
-    _partition_cache.put(key, (partition, tuple(plan_stmts)))
+    stmts = tuple(plan_stmts)
+    _partition_cache.put(
+        key, (partition, stmts), partition_entry_nbytes(partition, stmts)
+    )
+
+
+def iter_partition_entries() -> Iterator[Tuple[Tuple, Any, Tuple]]:
+    """Yield every live partition-memo entry as ``(key, partition,
+    plan_stmts)`` (LRU order, oldest first)."""
+    for key, (partition, stmts) in _partition_cache.items():
+        yield key, partition, stmts
 
 
 # --------------------------------------------------------------------------- #
@@ -339,7 +522,11 @@ def cache_stats() -> Dict[str, int]:
         "kernel_entries": len(_kernel_cache),
         "kernel_hits": _kernel_cache.hits,
         "kernel_misses": _kernel_cache.misses,
+        "kernel_bytes": _kernel_cache.total_bytes,
+        "kernel_evictions": _kernel_cache.evictions,
         "partition_entries": len(_partition_cache),
         "partition_hits": _partition_cache.hits,
         "partition_misses": _partition_cache.misses,
+        "partition_bytes": _partition_cache.total_bytes,
+        "partition_evictions": _partition_cache.evictions,
     }

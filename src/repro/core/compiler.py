@@ -67,12 +67,12 @@ class KernelClass:
 def classify(asg: Assignment) -> KernelClass:
     """Match the statement against the specialized kernel patterns."""
     lhs, rhs = asg.lhs, asg.rhs
-    if isinstance(rhs, Add):
-        ops = list(rhs.operands)
-        if len(ops) >= 2 and all(
-            isinstance(o, Access) and o.indices == lhs.indices for o in ops
-        ) and not lhs.tensor.format.is_all_dense():
-            return KernelClass("spadd", operands=ops)
+    if _cache.is_assembled_output(asg):
+        # SpAdd: a sum of aligned accesses into a sparse output whose
+        # pattern is assembled anew each execute.  The one predicate is
+        # shared with the kernel fingerprint, which must exclude the LHS
+        # pattern version for exactly the statements classified here.
+        return KernelClass("spadd", operands=list(rhs.operands))
     operands = list(rhs.operands) if isinstance(rhs, Mul) else [rhs]
     if not all(isinstance(o, Access) for o in operands):
         return KernelClass("generic")
@@ -184,6 +184,31 @@ class CompiledKernel:
         """Communicate this tensor's sub-regions in memory-sized rounds
         instead of keeping them resident (the "SpDISTAL-Batched" strategy)."""
         self._streamed.add(id(tensor))
+
+    # -- persistence (repro.core.store) ---------------------------------------
+    def __getstate__(self):
+        """Compiled kernels are picklable minus the leaf closure (it binds
+        raw NumPy views and is rebuilt lazily on the first execute)."""
+        state = self.__dict__.copy()
+        state["_leaf"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # ``parts``/``privileges``/``_streamed`` key on id(tensor); ids
+        # changed across the pickle boundary.  Every partition carries its
+        # tensor, so re-key from the old ids to the unpickled identities.
+        old_parts: Dict[int, TensorPartition] = self.parts
+        tensor_of = {old_id: part.tensor for old_id, part in old_parts.items()}
+        self.parts = {id(t): old_parts[old_id] for old_id, t in tensor_of.items()}
+        self.privileges = {
+            id(tensor_of[old_id]): priv
+            for old_id, priv in self.privileges.items()
+            if old_id in tensor_of
+        }
+        self._streamed = {
+            id(tensor_of[old_id]) for old_id in self._streamed if old_id in tensor_of
+        }
 
     # -- data placement -----------------------------------------------------
     def _ensure_runtime(self, runtime: Optional[Runtime]) -> Runtime:

@@ -1,0 +1,363 @@
+"""Persistent artifact store: packed tensors + their amortization state.
+
+SpDISTAL's compile-once / run-many model (see :mod:`repro.core.cache` and
+:mod:`repro.legion.runtime`) amortizes partitioning, compilation and
+mapping analysis across executions — but only within one process.  The
+paper's workflow is *pack once, run many kernels over it across sessions*:
+the packed tensor is the expensive, reusable artifact, the way TACO-family
+compilers persist format-specialized artifacts (Chou et al.).  This module
+extends the amortization across processes by serializing, next to the
+packed tensor:
+
+* the **companion tensors** of every cached kernel over it (cache keys
+  embed object identities, so the whole statement's tensors travel
+  together),
+* the **kernel-cache entries** (the compiled kernels themselves, minus
+  their leaf closures, which rebuild lazily),
+* the **partition-memo entries** (coordinate-tree partitions + recorded
+  plan statements), and
+* the **runtimes** those kernels executed on, with their recorded mapping
+  traces, home placements and symbolic residency state.
+
+An artifact is a directory with two files:
+
+``payload.pkl``
+    One pickle of the object graph above.  Shared structure (a ``crd``
+    region adopted by two tensors, a runtime shared by two kernels) is
+    preserved exactly.
+
+``manifest.json``
+    Human-readable metadata keyed on the *stable* schedule fingerprint
+    (the canonical fingerprint of :func:`repro.core.cache.kernel_fingerprint`
+    minus the process-local tensor ids, hashed), each tensor's
+    ``pattern_version``, and the structural machine signature.  Read this
+    to inspect an artifact without unpickling it; :func:`load_packed`
+    validates it against the payload.
+
+``load_packed`` re-seeds the process-local caches under the *new* object
+identities (fingerprints are recomputed over the unpickled tensors, trace
+keys are re-anchored on the unpickled partitions), so a fresh process that
+rebuilds the same schedule over the loaded tensors hits the kernel cache
+on its first compile and replays mapping traces on its first execute —
+steady-state cost from execution one, with bit-identical simulated
+metrics.  See ``docs/caching.md`` for the contract and
+``benchmarks/bench_warmstart.py`` for the measurement.
+
+Only load artifacts you wrote yourself: this is ``pickle`` underneath,
+with all of pickle's trust assumptions.
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import StoreError
+from ..legion.index_space import IndexSpace
+from ..legion.region import Region
+from ..taco.tensor import CompressedLevel, Tensor
+from . import cache as _cache
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "PackedArtifact",
+    "save_packed",
+    "load_packed",
+    "read_manifest",
+    "stable_fingerprint",
+    "machine_signature",
+]
+
+STORE_FORMAT_VERSION = 1
+PAYLOAD_NAME = "payload.pkl"
+MANIFEST_NAME = "manifest.json"
+
+
+def machine_signature(machine) -> Tuple:
+    """The structural (process-independent) signature of a machine."""
+    return _cache._machine_signature(machine)
+
+
+def stable_fingerprint(schedule, machine) -> str:
+    """A process-independent digest of a kernel cache key.
+
+    :func:`repro.core.cache.kernel_fingerprint` embeds ``id(tensor)``
+    values, which are meaningless across processes; this drops them and
+    hashes the canonical schedule signature, the tensor states
+    (pattern versions, shapes, formats, dtypes) and the machine signature.
+    Two processes compiling the same statement over equal-state tensors
+    agree on it — it is what the manifest keys kernel entries on.
+    """
+    sched_sig, _ids, tensor_states, msig = _cache.kernel_fingerprint(
+        schedule, machine
+    )
+    blob = repr((sched_sig, tensor_states, msig)).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class PackedArtifact:
+    """Everything :func:`load_packed` restored from one artifact."""
+
+    tensor: Tensor
+    companions: Dict[str, Tensor] = field(default_factory=dict)
+    kernels: List[Any] = field(default_factory=list)
+    runtimes: List[Any] = field(default_factory=list)
+    manifest: Dict[str, Any] = field(default_factory=dict)
+
+    def runtime(self):
+        """The restored runtime (the first, which is the common case of a
+        single shared runtime), or None if none was stored."""
+        return self.runtimes[0] if self.runtimes else None
+
+    def all_tensors(self) -> List[Tensor]:
+        return [self.tensor] + list(self.companions.values())
+
+
+# --------------------------------------------------------------------------- #
+# save
+# --------------------------------------------------------------------------- #
+def _tensor_regions(tensor: Tensor):
+    for lvl in tensor.levels:
+        if isinstance(lvl, CompressedLevel):
+            yield lvl.pos
+            yield lvl.crd
+    if tensor.vals is not None:
+        yield tensor.vals
+
+
+def _tensor_meta(tensor: Tensor) -> Dict[str, Any]:
+    return {
+        "name": tensor.name,
+        "shape": list(tensor.shape),
+        "format": tensor.format.name,
+        "dtype": tensor.dtype.str,
+        "pattern_version": tensor.pattern_version,
+        "assembly_version": tensor.assembly_version,
+        "nnz": int(tensor.nnz),
+        "nbytes": int(tensor.nbytes),
+    }
+
+
+def save_packed(
+    path: Union[str, Path],
+    tensor: Tensor,
+    *,
+    include_caches: bool = True,
+    runtime=None,
+) -> Path:
+    """Persist ``tensor`` (and, by default, its amortization state) to the
+    artifact directory ``path``.
+
+    With ``include_caches`` every live kernel-cache entry whose statement
+    involves ``tensor`` is exported, together with the companion tensors it
+    pins, the partition-memo entries of all those tensors, and the
+    runtimes the kernels executed on (traces included).  Pass an explicit
+    ``runtime`` to persist one that is not attached to any cached kernel.
+    Returns the artifact directory path.
+    """
+    path = Path(path)
+    if path.exists() and not path.is_dir():
+        raise StoreError(f"{path}: artifact path exists and is not a directory")
+    path.mkdir(parents=True, exist_ok=True)
+
+    kernel_entries: List[Tuple[Any, Tuple]] = []  # (kernel, pinned tensors)
+    if include_caches:
+        for _key, kernel, tensors in _cache.iter_kernel_entries():
+            if any(t is tensor for t in tensors):
+                kernel_entries.append((kernel, tensors))
+
+    tensor_set: List[Tensor] = [tensor]
+    for _kernel, tensors in kernel_entries:
+        for t in tensors:
+            if not any(t is s for s in tensor_set):
+                tensor_set.append(t)
+
+    partition_entries: List[Tuple[Tensor, Tuple, Any, Tuple]] = []
+    if include_caches:
+        for key, part, stmts in _cache.iter_partition_entries():
+            owner = part.tensor
+            if any(owner is t for t in tensor_set):
+                # key[0] is id(owner); store the tail and re-key on load.
+                partition_entries.append((owner, key[1:], part, stmts))
+
+    runtimes: List[Any] = []
+    for kernel, _tensors in kernel_entries:
+        rt = getattr(kernel, "_runtime", None)
+        if rt is not None and not any(rt is r for r in runtimes):
+            runtimes.append(rt)
+    if runtime is not None and not any(runtime is r for r in runtimes):
+        runtimes.append(runtime)
+
+    # Advance-counter watermark: every region uid the payload can mention
+    # must be covered, or a fresh region in the loading process could
+    # collide with a pickled one.  Beyond the tensors' own regions, copy
+    # traces can reference regions that were only ever staged via
+    # copy_subset (and later dropped from residency), so trace keys and
+    # residency snapshots are scanned too.
+    max_region_uid = -1
+    max_ispace_uid = -1
+    for t in tensor_set:
+        for region in _tensor_regions(t):
+            max_region_uid = max(max_region_uid, region.uid)
+            max_ispace_uid = max(max_ispace_uid, region.ispace.uid)
+    for rt in runtimes:
+        for uid_map in (rt._home, rt._residency):
+            for uid in uid_map:
+                max_region_uid = max(max_region_uid, uid)
+        for key, trace in rt._traces.items():
+            for reqsig in key[3]:
+                max_region_uid = max(max_region_uid, reqsig[0])
+            for uid in trace.residency_after:
+                max_region_uid = max(max_region_uid, uid)
+        for key, trace in rt._copy_traces.items():
+            max_region_uid = max(max_region_uid, key[1])
+            for uid in trace.residency_after:
+                max_region_uid = max(max_region_uid, uid)
+            if trace.pinned:
+                region = trace.pinned[0]
+                max_region_uid = max(max_region_uid, region.uid)
+                max_ispace_uid = max(max_ispace_uid, region.ispace.uid)
+
+    payload = {
+        "format_version": STORE_FORMAT_VERSION,
+        "tensor": tensor,
+        "companions": [t for t in tensor_set if t is not tensor],
+        "kernels": kernel_entries,
+        "partitions": partition_entries,
+        "runtimes": runtimes,
+        "max_region_uid": max_region_uid,
+        "max_ispace_uid": max_ispace_uid,
+    }
+    payload_path = path / PAYLOAD_NAME
+    with open(payload_path, "wb") as f:
+        pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+
+    kernels_meta = []
+    for kernel, tensors in kernel_entries:
+        try:
+            fp = stable_fingerprint(kernel.schedule, kernel.machine)
+        except _cache.Unfingerprintable:  # pragma: no cover - cached => fingerprintable
+            fp = None
+        kernels_meta.append(
+            {
+                "fingerprint": fp,
+                "kind": kernel.kind,
+                "strategy": kernel.strategy,
+                "pieces": len(kernel.pieces),
+                "machine": list(machine_signature(kernel.machine)),
+                "tensors": [t.name for t in tensors],
+            }
+        )
+    manifest = {
+        "format_version": STORE_FORMAT_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "payload": PAYLOAD_NAME,
+        "payload_bytes": payload_path.stat().st_size,
+        "tensor": _tensor_meta(tensor),
+        "companions": [_tensor_meta(t) for t in tensor_set if t is not tensor],
+        "kernels": kernels_meta,
+        "partition_entries": len(partition_entries),
+        "runtimes": len(runtimes),
+        "trace_count": sum(
+            len(rt._traces) + len(rt._copy_traces) for rt in runtimes
+        ),
+    }
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# load
+# --------------------------------------------------------------------------- #
+def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate an artifact's JSON manifest (no unpickling)."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME if path.is_dir() else path
+    if not manifest_path.exists():
+        raise StoreError(f"{path}: no {MANIFEST_NAME} found")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except ValueError as e:
+        raise StoreError(f"{manifest_path}: corrupt manifest: {e}") from e
+    version = manifest.get("format_version")
+    if version != STORE_FORMAT_VERSION:
+        raise StoreError(
+            f"{manifest_path}: unsupported store format version {version!r} "
+            f"(this build reads version {STORE_FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def load_packed(
+    path: Union[str, Path], *, restore_caches: bool = True
+) -> PackedArtifact:
+    """Load an artifact directory written by :func:`save_packed`.
+
+    Re-seeds the kernel cache and partition memo under the loaded objects'
+    identities (skipped when ``restore_caches`` is false or caching is
+    globally disabled), advances the region/index-space uid counters past
+    the loaded uids, and returns a :class:`PackedArtifact`.  A fresh
+    process that rebuilds the saved schedule over the returned tensors
+    compiles to a cache hit and replays the stored mapping traces on its
+    first execute.
+    """
+    path = Path(path)
+    manifest = read_manifest(path)
+    payload_path = path / manifest.get("payload", PAYLOAD_NAME)
+    if not payload_path.exists():
+        raise StoreError(f"{payload_path}: manifest names a missing payload")
+    try:
+        with open(payload_path, "rb") as f:
+            payload = pickle.load(f)
+    except Exception as e:
+        # pickle surfaces corruption as UnpicklingError, EOFError,
+        # AttributeError/ImportError (missing classes), ... — fold them all
+        # into the module's documented error type.
+        raise StoreError(f"{payload_path}: corrupt payload: {e}") from e
+    if not isinstance(payload, dict):
+        raise StoreError(f"{payload_path}: payload is not an artifact dict")
+    if payload.get("format_version") != manifest["format_version"]:
+        raise StoreError(
+            f"{path}: payload format version {payload.get('format_version')!r} "
+            f"does not match manifest {manifest['format_version']!r}"
+        )
+
+    tensor: Tensor = payload["tensor"]
+    declared = manifest.get("tensor", {})
+    for counter in ("pattern_version", "assembly_version"):
+        if declared.get(counter) != getattr(tensor, counter):
+            raise StoreError(
+                f"{path}: manifest {counter} {declared.get(counter)!r} does "
+                f"not match payload {getattr(tensor, counter)!r} "
+                "(stale manifest next to a rewritten payload?)"
+            )
+
+    Region.advance_uid_counter(payload.get("max_region_uid", -1))
+    IndexSpace.advance_uid_counter(payload.get("max_ispace_uid", -1))
+
+    kernels = []
+    if restore_caches and _cache.caches_enabled():
+        for owner, key_tail, part, stmts in payload.get("partitions", ()):
+            _cache.store_partition((id(owner),) + tuple(key_tail), part, stmts)
+        for kernel, tensors in payload.get("kernels", ()):
+            try:
+                key = _cache.kernel_fingerprint(kernel.schedule, kernel.machine)
+            except _cache.Unfingerprintable:  # pragma: no cover
+                continue
+            _cache.store_kernel(key, kernel, tensors)
+            kernels.append(kernel)
+    else:
+        kernels = [kernel for kernel, _ in payload.get("kernels", ())]
+
+    return PackedArtifact(
+        tensor=tensor,
+        companions={t.name: t for t in payload.get("companions", ())},
+        kernels=kernels,
+        runtimes=list(payload.get("runtimes", ())),
+        manifest=manifest,
+    )

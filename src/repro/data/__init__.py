@@ -1,6 +1,13 @@
 """Dataset suite: synthetic Table II stand-ins, generators and I/O."""
 from . import matrices, tensors
-from .io import read_matrix_market, read_tns, write_matrix_market, write_tns
+from .io import (
+    load_packed,
+    read_matrix_market,
+    read_tns,
+    save_packed,
+    write_matrix_market,
+    write_tns,
+)
 from .suite import (
     SUITE_MATRICES,
     SUITE_TENSORS,
@@ -13,6 +20,7 @@ from .suite import (
 __all__ = [
     "matrices", "tensors",
     "read_matrix_market", "read_tns", "write_matrix_market", "write_tns",
+    "save_packed", "load_packed",
     "SUITE_MATRICES", "SUITE_TENSORS", "DatasetEntry",
     "load_matrix", "load_tensor", "table2",
 ]

@@ -1,7 +1,10 @@
 """Exception types shared across the package."""
 from __future__ import annotations
 
-__all__ = ["ReproError", "OOMError", "CompileError", "ScheduleError", "FormatError"]
+__all__ = [
+    "ReproError", "OOMError", "CompileError", "ScheduleError", "FormatError",
+    "StoreError",
+]
 
 
 class ReproError(Exception):
@@ -31,3 +34,9 @@ class ScheduleError(ReproError):
 
 class FormatError(ReproError):
     """An invalid tensor format or format/operation combination."""
+
+
+class StoreError(ReproError):
+    """A persistent artifact (``repro.core.store``) could not be read or
+    written: missing/corrupt manifest, unsupported format version, or a
+    manifest that does not match its payload."""

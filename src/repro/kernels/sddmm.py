@@ -5,6 +5,9 @@ only the values array.  The paper uses a non-zero-based algorithm and data
 distribution for SDDMM on both CPUs and GPUs — each piece computes an exact
 slice of the non-zero positions, which is what makes it perfectly load
 balanced regardless of the sparsity structure.
+
+Index notation: ``A(i,j) = B(i,j) * C(i,k) * D(k,j)`` — paper §V-B
+(pattern-preserving output), §VI-A (non-zero distribution), Fig. 10/11.
 """
 from __future__ import annotations
 

@@ -6,6 +6,9 @@ piece's per-row output counts; after an exclusive scan sizes the output, a
 *fill* pass writes coordinates and values without synchronization.  Fusing
 all three operands in one sweep (instead of two pairwise adds) is what buys
 the paper its 11.8–38.5x over PETSc/Trilinos.
+
+Index notation: ``A(i,j) = B(i,j) + C(i,j) + D(i,j)`` — paper §V-B
+(two-phase assembly), §VI-C (SpAdd evaluation vs PETSc/Trilinos).
 """
 from __future__ import annotations
 

@@ -5,6 +5,10 @@ The row-based piece uses the schedule of Senanayake et al. for the leaf
 moral equivalent of the vendor kernel the paper calls at the leaves).  The
 non-zero-based piece (the GPU schedule) balances positions exactly but
 replicates C and reduces aliased output rows.
+
+Index notation: ``A(i,j) = B(i,k) * C(k,j)`` — paper §VI-A (algorithms,
+including the memory-conserving "SpDISTAL-Batched" variant), Fig. 10/11
+(evaluation).
 """
 from __future__ import annotations
 

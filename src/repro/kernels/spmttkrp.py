@@ -6,6 +6,9 @@ is dense, so ``j = fiber % n1`` and ``i = fiber // n1``.  The row-based
 variant owns disjoint ``i`` ranges; the non-zero-based variant splits leaf
 positions exactly and reduces aliased output rows (the GPU schedule in the
 paper, which wins through load balance).
+
+Index notation: ``A(i,l) = B(i,j,k) * C(j,l) * D(k,l)`` — paper §VI-A
+(higher-order kernels), Fig. 10/12 (evaluation).
 """
 from __future__ import annotations
 

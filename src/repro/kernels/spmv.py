@@ -10,6 +10,9 @@ Two distributed algorithms from the paper:
 
 Both compute on the rect-``pos`` arrays with NumPy segment reductions and
 return the roofline :class:`~repro.legion.machine.Work` they performed.
+
+Index notation: ``a(i) = B(i,j) * c(j)`` — paper §II-D (schedules), §VI-A
+(CPU/GPU algorithm choice), Fig. 10/11/13 (evaluation).
 """
 from __future__ import annotations
 

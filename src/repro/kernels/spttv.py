@@ -5,6 +5,9 @@ matrix sharing B's first two levels; for the DDC ("patents") format the
 (i, j) fiber space is dense and ``A`` is a dense matrix.  Either way the
 leaf reduces each fiber's positions against ``c`` — one segmented sum over
 the fiber parent space.
+
+Index notation: ``A(i,j) = B(i,j,k) * c(k)`` — paper §V-B (pattern
+preservation), §VI-A (higher-order kernels), Fig. 10/12 (evaluation).
 """
 from __future__ import annotations
 

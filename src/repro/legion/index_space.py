@@ -120,6 +120,13 @@ class IndexSpace:
 
     _counter = itertools.count()
 
+    @classmethod
+    def advance_uid_counter(cls, beyond: int) -> None:
+        """Ensure future index spaces get uids strictly greater than
+        ``beyond`` (see :meth:`repro.legion.region.Region.advance_uid_counter`)."""
+        nxt = next(cls._counter)
+        cls._counter = itertools.count(max(nxt, int(beyond) + 1))
+
     def __init__(self, bounds: Union[Rect, int, Sequence[int]], name: str = ""):
         if isinstance(bounds, Rect):
             self.bounds = bounds

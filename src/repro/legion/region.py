@@ -41,6 +41,18 @@ class Region:
 
     _counter = itertools.count()
 
+    @classmethod
+    def advance_uid_counter(cls, beyond: int) -> None:
+        """Ensure future regions get uids strictly greater than ``beyond``.
+
+        Called by :mod:`repro.core.store` after unpickling an artifact:
+        loaded regions keep their saved uids (traces and residency key on
+        them), so the local counter must skip past them or a fresh region
+        could collide with a loaded one.
+        """
+        nxt = next(cls._counter)
+        cls._counter = itertools.count(max(nxt, int(beyond) + 1))
+
     def __init__(
         self,
         ispace: IndexSpace,

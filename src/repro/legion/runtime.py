@@ -31,10 +31,28 @@ are bit-identical to what a fresh analysis would produce.
 Residency states are tracked symbolically: ``reset_residency`` (called
 between trials) returns to the canonical "homes only" state *without*
 dropping traces — this is what makes iterations 2..N of an iterative
-solver replay.  Any out-of-band mutation (``place*``, ``copy_subset``)
-moves to a fresh unique state, so stale traces can never fire, and
-``invalidate_caches`` additionally drops all recorded traces (the hook to
-use after writing region data behind the runtime's back).
+solver replay.  Any out-of-band mutation (``place*``) moves to a fresh
+unique state, so stale traces can never fire, and ``invalidate_caches``
+additionally drops all recorded traces (the hook to use after writing
+region data behind the runtime's back).
+
+Explicit copies (the ``communicate``-lowered :meth:`Runtime.copy_subset`)
+are traced the same way: the first copy of a given ``(region, subset,
+destination)`` from a residency state records its staging decision and
+the state it leads to; repeats replay it.  A chain of launches and copies
+therefore replays end-to-end, which is what covers the SpAdd assembly
+sequence (symbolic launch → scan → fill launch) and TDN-style placement
+copies.
+
+Two housekeeping facilities round this out.  ``metrics_limit`` bounds
+:attr:`Runtime.metrics` for very long solver loops: between trials the
+runtime folds the oldest :class:`~repro.legion.metrics.StepMetrics` into
+exact scalar totals (see :meth:`ExecutionMetrics.fold_oldest`), so a 100k
+iteration loop holds a bounded step list while ``simulated_seconds`` stays
+exact.  And runtimes are *picklable*: :mod:`repro.core.store` persists a
+runtime (with its recorded traces, homes and symbolic state — metrics and
+hit counters start fresh) next to packed tensors so a new process replays
+from its first launch.
 """
 from __future__ import annotations
 
@@ -49,6 +67,7 @@ from ..errors import OOMError
 from .index_space import (
     EMPTY,
     IndexSubset,
+    RectSubset,
     intersect_subsets,
     subtract_subsets,
     union_subsets,
@@ -158,10 +177,23 @@ class MappingTrace:
     events_per_color: List[Tuple[CommEvent, ...]]
     residency_after: Dict[int, Dict[int, List[IndexSubset]]]
     post_state: Tuple
-    #: Strong references to the partitions named in the trace key.  Keys
-    #: embed ``id(partition)``; pinning the objects keeps those ids
-    #: unambiguous for the trace's lifetime (a freed partition's address
-    #: could otherwise be recycled by an unrelated one).
+    #: Strong references to the partitions named in the trace key (one per
+    #: region requirement, ``None`` for broadcasts).  Keys embed
+    #: ``id(partition)``; pinning the objects keeps those ids unambiguous
+    #: for the trace's lifetime (a freed partition's address could
+    #: otherwise be recycled by an unrelated one).  Unpickling re-anchors
+    #: the keys on the pinned objects' new ids (:meth:`Runtime.__setstate__`).
+    pinned: Tuple = ()
+
+
+@dataclass
+class _CopyTrace:
+    """Memoized staging decision of one explicit :meth:`Runtime.copy_subset`."""
+
+    events: Tuple[CommEvent, ...]
+    residency_after: Dict[int, Dict[int, List[IndexSubset]]]
+    post_state: Tuple
+    #: ``(region, subset)`` — pins the subset whose ``id`` the key embeds.
     pinned: Tuple = ()
 
 
@@ -178,16 +210,22 @@ class Runtime:
         network: Optional[Network] = None,
         *,
         trace_replay: bool = True,
+        metrics_limit: int = 10_000,
     ):
         self.machine = machine
         self.network = network if network is not None else Network.legion()
         self.metrics = ExecutionMetrics()
         self.trace_replay = trace_replay
+        #: Auto-trim threshold: once ``metrics.steps`` exceeds this between
+        #: trials, the oldest steps are folded into exact scalar totals
+        #: (see :meth:`trim_metrics`).  ``0`` disables auto-trimming.
+        self.metrics_limit = metrics_limit
         self.trace_hits = 0
         self.trace_records = 0
         self._residency: Dict[int, _Residency] = {}
         self._home: Dict[int, List[Tuple[IndexSubset, int]]] = {}
         self._traces: Dict[Tuple, MappingTrace] = {}
+        self._copy_traces: Dict[Tuple, _CopyTrace] = {}
         self._homes_version = 0
         self._state_counter = itertools.count(1)
         self._state: Tuple = ("clean", 0)
@@ -520,8 +558,60 @@ class Runtime:
         *,
         reason: str = "copy",
     ) -> None:
+        """Stage ``subset`` of ``region`` into ``dst_proc``'s memory.
+
+        Traced like a launch when ``trace_replay`` is on: the first copy of
+        a given ``(region, subset, destination)`` from the current
+        residency state records its communication and the state it leads
+        to; a repeat replays both, so copy sequences chain with launches
+        into end-to-end replayed iterations.  With replay disabled the copy
+        moves to a fresh unique state (no stale trace can fire afterwards).
+        """
         if subset.empty:
             return
+        if not self.trace_replay:
+            self._copy_uncached(step, region, subset, dst_proc, reason)
+            self._mark_dirty()
+            return
+        key = (self._state, region.uid, _subset_sig(subset), dst_proc)
+        trace = self._copy_traces.get(key)
+        if trace is not None:
+            step.comm_events.extend(trace.events)
+            self._restore_residency(trace.residency_after)
+            self._state = trace.post_state
+            self.trace_hits += 1
+            return
+        before = self._snapshot_residency()
+        mark = len(step.comm_events)
+        try:
+            self._copy_uncached(step, region, subset, dst_proc, reason)
+        except BaseException:
+            self._mark_dirty()  # partial copy (e.g. OOM): unknown residency
+            raise
+        after = self._snapshot_residency()
+        if self._snapshots_equal(before, after):
+            post_state = self._state  # already covered: a self-loop
+        else:
+            post_state = ("post", next(self._state_counter))
+        if len(self._copy_traces) >= 512:  # runaway-recording backstop
+            self._copy_traces.clear()
+        self._copy_traces[key] = _CopyTrace(
+            events=tuple(step.comm_events[mark:]),
+            residency_after=after,
+            post_state=post_state,
+            pinned=(region, subset),
+        )
+        self._state = post_state
+        self.trace_records += 1
+
+    def _copy_uncached(
+        self,
+        step: StepMetrics,
+        region: Region,
+        subset: IndexSubset,
+        dst_proc: int,
+        reason: str,
+    ) -> None:
         res = self._residency.setdefault(region.uid, _Residency())
         covered = res.covered_volume(dst_proc, subset)
         missing = subset.volume - covered
@@ -531,7 +621,6 @@ class Runtime:
         nbytes = missing * region.data.dtype.itemsize * region._row_width()
         step.comm_events.append(_comm(src, dst_proc, nbytes, self.machine, reason))
         res.add(dst_proc, subset)
-        self._mark_dirty()
         self._check_capacity(region, dst_proc)
 
     # -- capacity ---------------------------------------------------------------
@@ -571,7 +660,15 @@ class Runtime:
         each trial pays the communication its algorithm inherently performs.
         Recorded mapping traces are kept — they were recorded from exactly
         this "homes only" state, so repeat trials replay them.
+
+        Also the auto-trim point for long loops: once ``metrics.steps``
+        exceeds ``metrics_limit``, the oldest steps are folded into exact
+        scalar totals (:meth:`trim_metrics`).  Trimming happens only here,
+        between trials, so per-trial step slices taken by callers (e.g.
+        :meth:`CompiledKernel.execute`) never shift mid-trial.
         """
+        if self.metrics_limit and len(self.metrics.steps) > self.metrics_limit:
+            self.trim_metrics()
         self._residency = {}
         for uid, homes in self._home.items():
             res = self._residency.setdefault(uid, _Residency())
@@ -579,15 +676,31 @@ class Runtime:
                 res.add(proc, subset)
         self._state = ("clean", self._homes_version)
 
+    def trim_metrics(self, keep: Optional[int] = None) -> int:
+        """Fold all but the newest ``keep`` steps into exact scalar totals.
+
+        ``keep`` defaults to half of ``metrics_limit`` so trims amortize
+        (each trim buys another ``metrics_limit / 2`` trials of headroom).
+        Totals are preserved for this runtime's network; per-step detail of
+        the folded prefix is lost.  Returns the number of steps folded.
+        """
+        if keep is None:
+            keep = (self.metrics_limit or 0) // 2
+        return self.metrics.fold_oldest(
+            len(self.metrics.steps) - keep, self.network
+        )
+
     def invalidate_caches(self) -> None:
         """Reset residency to home placements AND drop all mapping traces.
 
         The conservative hook for out-of-band changes (region data written
         behind the runtime's back, external repartitioning): replaying a
         trace recorded before such a change could reuse stale residency, so
-        every trace is dropped and the next launches re-record.
+        every trace (launch and copy) is dropped and the next launches
+        re-record.
         """
         self._traces.clear()
+        self._copy_traces.clear()
         self.reset_residency()
 
     # -- results ------------------------------------------------------------------
@@ -598,6 +711,66 @@ class Runtime:
         out = self.metrics
         self.metrics = ExecutionMetrics()
         return out
+
+    # -- persistence (repro.core.store) ---------------------------------------
+    def __getstate__(self):
+        """Pickle the runtime's *replayable* state: homes, residency,
+        symbolic state and recorded traces.  Metrics and hit counters start
+        fresh in the loading process — a warm-started run measures its own
+        executions, not the saving process's history."""
+        state = self.__dict__.copy()
+        state["metrics"] = ExecutionMetrics()
+        state["trace_hits"] = 0
+        state["trace_records"] = 0
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Trace keys embed id()s of partitions/subsets from the saving
+        # process; re-anchor them on the unpickled objects (pinned in each
+        # trace).  Region uids are stable instance attributes and survive
+        # pickling unchanged.
+        self._traces = self._rekeyed_traces(self._traces)
+        self._copy_traces = self._rekeyed_copy_traces(self._copy_traces)
+
+    @staticmethod
+    def _rekeyed_traces(traces: Dict[Tuple, MappingTrace]) -> Dict[Tuple, MappingTrace]:
+        out: Dict[Tuple, MappingTrace] = {}
+        for key, trace in traces.items():
+            st, name, colors, reqsigs, procs, scratch = key
+            if len(trace.pinned) != len(reqsigs):
+                continue  # cannot re-anchor: drop (the launch re-records)
+            new_sigs = tuple(
+                (
+                    uid,
+                    id(part) if pid is not None and part is not None else None,
+                    priv,
+                    streamed,
+                )
+                for (uid, pid, priv, streamed), part in zip(reqsigs, trace.pinned)
+            )
+            out[(st, name, colors, new_sigs, procs, scratch)] = trace
+        return out
+
+    @staticmethod
+    def _rekeyed_copy_traces(traces: Dict[Tuple, _CopyTrace]) -> Dict[Tuple, _CopyTrace]:
+        out: Dict[Tuple, _CopyTrace] = {}
+        for key, trace in traces.items():
+            st, uid, _old_sig, dst = key
+            if len(trace.pinned) != 2:
+                continue
+            out[(st, uid, _subset_sig(trace.pinned[1]), dst)] = trace
+        return out
+
+
+def _subset_sig(subset: IndexSubset) -> Tuple:
+    """Cheap signature of a copy target: rect subsets compare structurally
+    (they are tiny frozen values, and callers often rebuild them), irregular
+    subsets by identity (hashing their index arrays would cost more than the
+    algebra the trace skips — the trace pins them so the id stays valid)."""
+    if isinstance(subset, RectSubset):
+        return ("rect", subset.rect.lo, subset.rect.hi)
+    return ("obj", id(subset))
 
 
 def _comm(src: int, dst: int, nbytes: float, machine: Machine, reason: str):

@@ -110,6 +110,18 @@ class Tensor:
         #: by in-place writes to ``vals.data``.  Caches key on it so that
         #: value updates reuse partitions while structural changes miss.
         self.pattern_version: int = 0
+        #: How many times this tensor's pattern has been rebuilt *as the
+        #: assembled output* of an unknown-pattern statement (SpAdd's
+        #: two-phase assembly).  An observability counter, not a cache
+        #: key: the mechanism that keeps iterative SpAdd from recompiling
+        #: is that kernel fingerprints *exclude* the LHS pattern version
+        #: for assembled statements (an output pattern is what the kernel
+        #: produces, not consumes — see
+        #: :func:`repro.core.cache.is_assembled_output`).  The artifact
+        #: store records and validates this counter in its manifest, and
+        #: consumers of the tensor still see every structural change
+        #: through ``pattern_version``.
+        self.assembly_version: int = 0
         if self.format.is_all_dense():
             self._init_dense_levels()
 
@@ -226,6 +238,40 @@ class Tensor:
         writes must not call this.
         """
         self.pattern_version += 1
+
+    def _bump_assembly_version(self) -> None:
+        """Record one re-assembly of this tensor as an unknown-pattern
+        output (see ``assembly_version``).  Always paired with a
+        ``_bump_pattern_version`` by the assembly code — input-side caches
+        must still see the structural change."""
+        self.assembly_version += 1
+
+    # ------------------------------------------------------------------ #
+    # persistence (the artifact store; see repro.core.store)
+    # ------------------------------------------------------------------ #
+    def save(self, path, *, include_caches: bool = True, runtime=None):
+        """Persist this packed tensor (pickle + JSON manifest) to ``path``.
+
+        With ``include_caches`` (the default) every kernel-cache and
+        partition-memo entry referencing this tensor is stored alongside —
+        including the companion tensors and runtimes those entries pin — so
+        :meth:`load` in a fresh process warm-starts straight to the cached
+        steady state.  Delegates to :func:`repro.core.store.save_packed`.
+        """
+        from ..core.store import save_packed
+
+        return save_packed(path, self, include_caches=include_caches,
+                           runtime=runtime)
+
+    @staticmethod
+    def load(path) -> "Tensor":
+        """Load the primary tensor of an artifact saved by :meth:`save`,
+        re-seeding the kernel cache and partition memo as a side effect.
+        Use :func:`repro.core.store.load_packed` to also reach the
+        companion tensors and the restored runtime."""
+        from ..core.store import load_packed
+
+        return load_packed(path).tensor
 
     # ------------------------------------------------------------------ #
     # packing (COO -> levels)

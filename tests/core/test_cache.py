@@ -1,10 +1,12 @@
-"""Cache correctness: kernel cache, partition memo, invalidation rules."""
+"""Cache correctness: kernel cache, partition memo, invalidation rules,
+size-aware eviction."""
 import numpy as np
 import pytest
 import scipy.sparse as sp
 
 from repro.core import (
     PartitioningPlan,
+    cache_budgets,
     cache_stats,
     caches_disabled,
     clear_caches,
@@ -12,6 +14,7 @@ from repro.core import (
     invalidate_tensor,
     kernel_fingerprint,
     partition_tensor,
+    set_cache_budget,
 )
 from repro.legion import Machine, Runtime
 from repro.taco import CSR, Tensor, index_vars
@@ -190,6 +193,77 @@ class TestPostCompileMutation:
         # the fresh (unstreamed) kernel replaced the entry
         ck3 = compile_kernel(spmv_schedule(B, c, a), machine)
         assert ck3 is ck2
+
+
+class TestSizeAwareEviction:
+    @pytest.fixture(autouse=True)
+    def restore_budgets(self):
+        before = cache_budgets()
+        yield
+        set_cache_budget(kernel_bytes=before["kernel_bytes"],
+                         partition_bytes=before["partition_bytes"])
+
+    def bounds(self, pieces=4):
+        chunk = -(-N // pieces)
+        return {p: (p * chunk, min((p + 1) * chunk, N) - 1) for p in range(pieces)}
+
+    def test_entries_are_byte_accounted(self):
+        _, B, _, _ = make_tensors()
+        partition_tensor(B, 1, "universe", self.bounds())
+        stats = cache_stats()
+        assert stats["partition_entries"] == 1
+        assert stats["partition_bytes"] > 0
+
+    def test_lru_evicted_when_budget_exceeded(self):
+        _, B, _, _ = make_tensors()
+        p4 = partition_tensor(B, 1, "universe", self.bounds(4))
+        one_entry = cache_stats()["partition_bytes"]
+        # Room for roughly one entry: adding a second evicts the older.
+        set_cache_budget(partition_bytes=int(one_entry * 1.5))
+        p2 = partition_tensor(B, 1, "universe", self.bounds(2))
+        stats = cache_stats()
+        assert stats["partition_evictions"] >= 1
+        assert stats["partition_bytes"] <= int(one_entry * 1.5)
+        # The newer entry survived, the older was dropped.
+        assert partition_tensor(B, 1, "universe", self.bounds(2)) is p2
+        assert partition_tensor(B, 1, "universe", self.bounds(4)) is not p4
+
+    def test_oversized_entry_still_caches(self):
+        """A single entry above the whole budget is kept (run-many over one
+        huge tensor must not lose its only entry)."""
+        _, B, _, _ = make_tensors()
+        set_cache_budget(partition_bytes=1)
+        p = partition_tensor(B, 1, "universe", self.bounds())
+        assert partition_tensor(B, 1, "universe", self.bounds()) is p
+        assert cache_stats()["partition_entries"] == 1
+
+    def test_shrinking_budget_evicts_immediately(self):
+        _, B, _, _ = make_tensors()
+        partition_tensor(B, 1, "universe", self.bounds(4))
+        partition_tensor(B, 1, "universe", self.bounds(2))
+        assert cache_stats()["partition_entries"] == 2
+        set_cache_budget(partition_bytes=1)
+        assert cache_stats()["partition_entries"] == 1  # newest kept
+
+    def test_kernel_entries_accounted_and_evicted(self):
+        _, B, c, a = make_tensors()
+        machine = Machine.cpu(4)
+        ck4 = compile_kernel(spmv_schedule(B, c, a, pieces=4), machine)
+        assert cache_stats()["kernel_bytes"] > 0
+        set_cache_budget(kernel_bytes=1)
+        ck2 = compile_kernel(spmv_schedule(B, c, a, pieces=2), machine)
+        stats = cache_stats()
+        assert stats["kernel_evictions"] >= 1
+        assert stats["kernel_entries"] == 1
+        assert compile_kernel(spmv_schedule(B, c, a, pieces=2), machine) is ck2
+        assert compile_kernel(spmv_schedule(B, c, a, pieces=4), machine) is not ck4
+
+    def test_invalidate_tensor_releases_bytes(self):
+        _, B, _, _ = make_tensors()
+        partition_tensor(B, 1, "universe", self.bounds())
+        assert cache_stats()["partition_bytes"] > 0
+        invalidate_tensor(B)
+        assert cache_stats()["partition_bytes"] == 0
 
 
 class TestSeedPathBypass:

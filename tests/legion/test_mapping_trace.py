@@ -1,4 +1,7 @@
-"""Mapping-trace replay: record, replay, state tracking, invalidation."""
+"""Mapping-trace replay: record, replay, state tracking, invalidation,
+copy-sequence replay, the SpAdd assembly chain, and metrics auto-trim."""
+import contextlib
+
 import numpy as np
 import pytest
 
@@ -212,3 +215,247 @@ class TestSteadyStateLoops:
         s_cold = rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
         # the cold launch must re-pay staging, not replay the warm trace
         assert s_cold.comm_bytes() == s_warm.comm_bytes() > 0
+
+
+class TestCopyReplay:
+    """`communicate`-lowered copy_subset sequences record and replay."""
+
+    def test_repeated_copy_launch_chain_replays(self):
+        rt = make_rt()
+        r, reqs = mismatched(rt)
+        subset = RectSubset(Rect(0, 3))
+
+        def trial():
+            rt.reset_residency()
+            step = rt.metrics.new_step("copy")
+            rt.copy_subset(step, r, subset, 1)
+            launch = rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+            return step.comm_bytes(), launch.comm_bytes()
+
+        first = trial()
+        assert rt.trace_records == 2 and rt.trace_hits == 0
+        second = trial()
+        assert rt.trace_hits == 2 and rt.trace_records == 2
+        assert second == first
+        assert first[0] > 0
+
+    def test_copy_of_resident_subset_self_loops(self):
+        """A copy that moves nothing leaves the state unchanged, so the
+        surrounding launch chain keeps replaying."""
+        rt = make_rt()
+        r = Region(IndexSpace(8))
+        rt.place_on(r, 1)  # already fully resident on proc 1
+        for _ in range(3):
+            step = rt.metrics.new_step("copy")
+            rt.copy_subset(step, r, RectSubset(Rect(0, 3)), 1)
+            assert step.comm_bytes() == 0
+        assert rt.trace_records == 1 and rt.trace_hits == 2
+
+    def test_different_subset_records_fresh(self):
+        rt = make_rt()
+        r, reqs = mismatched(rt)
+        step = rt.metrics.new_step("copy")
+        rt.copy_subset(step, r, RectSubset(Rect(0, 3)), 1)
+        rt.reset_residency()
+        step = rt.metrics.new_step("copy")
+        rt.copy_subset(step, r, RectSubset(Rect(0, 5)), 1)
+        assert rt.trace_hits == 0 and rt.trace_records == 2
+
+    def test_invalidate_caches_drops_copy_traces(self):
+        rt = make_rt()
+        r, reqs = mismatched(rt)
+        subset = RectSubset(Rect(0, 3))
+        step = rt.metrics.new_step("copy")
+        rt.copy_subset(step, r, subset, 1)
+        rt.invalidate_caches()
+        step = rt.metrics.new_step("copy")
+        rt.copy_subset(step, r, subset, 1)
+        assert rt.trace_hits == 0 and rt.trace_records == 2
+
+    def test_disabled_replay_copies_mark_dirty(self):
+        rt = make_rt(trace_replay=False)
+        r, reqs = mismatched(rt)
+        state = rt._state
+        step = rt.metrics.new_step("copy")
+        rt.copy_subset(step, r, RectSubset(Rect(0, 3)), 1)
+        assert rt.trace_records == 0
+        assert rt._state != state
+
+
+class TestSpAddReplay:
+    """The SpAdd assembly chain (symbolic -> scan -> fill) replays across
+    iterations: the per-execute output re-assembly no longer re-records."""
+
+    def iterate(self, rt, iterations, *, cached=True, seed=3):
+        import scipy.sparse as sp
+
+        from repro.core import cache_stats, clear_caches, compile_kernel
+        from repro.core.cache import caches_disabled
+        from repro.taco import CSR, Tensor, index_vars
+
+        r = np.random.default_rng(seed)
+        mats = [sp.random(50, 40, density=0.08, random_state=r, format="csr")
+                for _ in range(3)]
+        B, C, D = (Tensor.from_scipy(n, m, CSR) for n, m in zip("BCD", mats))
+        A = Tensor.zeros("A", (50, 40), CSR)
+        machine = rt.machine
+        sims, kernels = [], []
+        ctx = caches_disabled() if not cached else contextlib.nullcontext()
+        with ctx:
+            for _ in range(iterations):
+                i, j, io, ii = index_vars("i j io ii")
+                A[i, j] = B[i, j] + C[i, j] + D[i, j]
+                s = A.schedule().divide(i, io, ii, 2).distribute(io)
+                ck = compile_kernel(s, machine, use_cache=cached)
+                res = ck.execute(rt)
+                sims.append(res.metrics.simulated_seconds(rt.network))
+                kernels.append(ck)
+        ref = (mats[0] + mats[1] + mats[2]).toarray()
+        return sims, kernels, np.allclose(A.to_dense(), ref)
+
+    def test_iterative_spadd_replays_not_rerecords(self):
+        from repro.core import clear_caches
+
+        clear_caches()
+        rt = make_rt()
+        iterations = 5
+        sims, kernels, numerics_ok = self.iterate(rt, iterations)
+        clear_caches()
+        assert numerics_ok
+        # one compile, reused every iteration (output re-assembly must not
+        # change the fingerprint)
+        assert all(k is kernels[0] for k in kernels)
+        # the chain records once (symbolic + fill) and replays after
+        assert rt.trace_records == 2
+        assert rt.trace_hits == 2 * (iterations - 1)
+        assert len(set(sims)) == 1  # value-identical iterations
+
+    def test_aliased_spadd_keeps_lhs_version_in_fingerprint(self):
+        """``A = B + A`` *reads* A: its pattern version must stay in the
+        kernel fingerprint, so each re-assembly recompiles (seed-path
+        behavior) instead of reusing partitions of the stale pattern."""
+        import scipy.sparse as sp
+
+        from repro.core import kernel_fingerprint
+        from repro.legion import Machine
+        from repro.taco import CSR, Tensor, index_vars
+
+        r = np.random.default_rng(1)
+        B = Tensor.from_scipy(
+            "B", sp.random(20, 16, density=0.2, random_state=r, format="csr"), CSR
+        )
+        A = Tensor.zeros("A", (20, 16), CSR)
+        machine = Machine.cpu(2)
+
+        def fp():
+            i, j = index_vars("i j")
+            from repro.taco.expr import Add
+
+            A.assignment = None
+            A[i, j] = Add([B[i, j], A[i, j]])
+            return kernel_fingerprint(A.schedule(), machine)
+
+        f1, f2 = fp(), fp()
+        assert f1 == f2
+        A._bump_pattern_version()  # what install_assembled_output does
+        assert fp() != f1
+
+        # The accumulate sugar (A = A + B + C) strips A from the operands
+        # but still reads it — the version must stay keyed there too.
+        D = Tensor.zeros("D", (20, 16), CSR)
+
+        def fp_acc():
+            i, j = index_vars("i j")
+            D[i, j] = D[i, j] + B[i, j] + B[i, j]
+            assert D.assignment.accumulate
+            return kernel_fingerprint(D.schedule(), machine)
+
+        a1 = fp_acc()
+        D._bump_pattern_version()
+        assert fp_acc() != a1
+
+        # Non-aliased statements still exclude the LHS version.
+        C = Tensor.zeros("C", (20, 16), CSR)
+
+        def fp_out():
+            i, j = index_vars("i j")
+            from repro.taco.expr import Add
+
+            C[i, j] = Add([B[i, j], B[i, j]])
+            return kernel_fingerprint(C.schedule(), machine)
+
+        g1 = fp_out()
+        C._bump_pattern_version()
+        assert fp_out() == g1
+
+    def test_spadd_cached_metrics_match_seed_path(self):
+        """Replay is a wall-clock optimization of the simulator: the cached
+        chain's simulated metrics equal the seed path's, iteration for
+        iteration."""
+        from repro.core import clear_caches
+
+        clear_caches()
+        sims_c, _, ok_c = self.iterate(make_rt(), 4, cached=True)
+        clear_caches()
+        sims_u, _, ok_u = self.iterate(make_rt(trace_replay=False), 4,
+                                       cached=False)
+        clear_caches()
+        assert ok_c and ok_u
+        assert sims_c == pytest.approx(sims_u)
+
+
+class TestMetricsAutotrim:
+    def test_long_loop_keeps_bounded_steps_and_exact_totals(self):
+        rt = make_rt(metrics_limit=20)
+        ref = make_rt(metrics_limit=0)  # never trims
+        for rt_ in (rt, ref):
+            r, reqs = mismatched(rt_)
+            for _ in range(100):
+                rt_.reset_residency()
+                rt_.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        assert len(rt.metrics.steps) <= 21  # trimmed between trials
+        assert len(ref.metrics.steps) == 100
+        assert rt.metrics.folded_steps > 0
+        # totals are preserved (to float summation order: folding
+        # re-associates the same per-step terms)
+        assert rt.metrics.simulated_seconds(rt.network) == pytest.approx(
+            ref.metrics.simulated_seconds(ref.network), rel=1e-12)
+        assert rt.metrics.total_comm_bytes() == ref.metrics.total_comm_bytes()
+        assert rt.metrics.total_tasks() == ref.metrics.total_tasks()
+        assert rt.metrics.total_compute_seconds() == pytest.approx(
+            ref.metrics.total_compute_seconds(), rel=1e-12)
+
+    def test_trim_disabled_by_default_at_small_scale(self):
+        rt = make_rt()  # default limit 10k: nothing trims in normal tests
+        r, reqs = mismatched(rt)
+        for _ in range(30):
+            rt.reset_residency()
+            rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        assert len(rt.metrics.steps) == 30
+        assert rt.metrics.folded_steps == 0
+
+    def test_explicit_trim_metrics(self):
+        rt = make_rt()
+        r, reqs = mismatched(rt)
+        for _ in range(10):
+            rt.reset_residency()
+            rt.index_launch("t", [0, 1], lambda c: Work(1, 1), reqs)
+        total = rt.metrics.simulated_seconds(rt.network)
+        folded = rt.trim_metrics(keep=2)
+        assert folded == 8
+        assert len(rt.metrics.steps) == 2
+        assert rt.metrics.simulated_seconds(rt.network) == pytest.approx(
+            total, rel=1e-12)
+
+    def test_trim_never_shifts_a_trial_slice(self):
+        """Auto-trim fires in reset_residency (before a trial's steps are
+        sliced), so per-trial metrics stay intact mid-execution."""
+        rt = make_rt(metrics_limit=4)
+        r, reqs = mismatched(rt)
+        for _ in range(12):
+            rt.reset_residency()
+            before = len(rt.metrics.steps)
+            rt.index_launch("a", [0, 1], lambda c: Work(1, 1), reqs)
+            rt.index_launch("b", [0, 1], lambda c: Work(1, 1), reqs)
+            trial = rt.metrics.steps[before:]
+            assert [s.name for s in trial] == ["a", "b"]

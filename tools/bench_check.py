@@ -1,18 +1,30 @@
 #!/usr/bin/env python
-"""Regression gate for the compile-once / run-many fast path.
+"""Regression gate for the compile-once / run-many fast paths.
 
-Runs the iterative-SpMV scenario fresh — cached and seed path in the same
-process — and compares the cached-iteration cost against the most recent
-``benchmarks/BENCH_iterative_*.json`` baseline.  The gated statistic is
-the *steady-state speedup* (seed time / cached time): absolute wall-clock
-varies wildly across processes on shared CI boxes, but the within-process
-ratio is stable, and a >20% regression of the cached iteration time shows
-up directly as a >20% drop of that ratio.  Exits non-zero on regression.
+Two gated scenarios, each compared against its most recent
+``benchmarks/BENCH_<scenario>_*.json`` baseline:
 
-Usage::
+* **iterative** — the in-process amortization: the iterative-SpMV loop run
+  cached and on the seed path in the same process.  The gated statistic is
+  the *steady-state speedup* (seed time / cached time): absolute
+  wall-clock varies wildly across processes on shared CI boxes, but the
+  within-process ratio is stable, and a >20% regression of the cached
+  iteration time shows up directly as a >20% drop of that ratio.
 
-    PYTHONPATH=src python tools/bench_check.py            # compare
-    PYTHONPATH=src python tools/bench_check.py --write    # (re)record baseline
+* **warmstart** — the cross-process amortization: a parent warms every
+  cache layer and saves the artifact store; a fresh process loads it.  The
+  gated statistic is the *warm-start speedup* (cold process first
+  iteration / warm process first iteration).  Both legs are subprocesses
+  on the same box, so the ratio is again the stable quantity.  The
+  warm-start *contract* (kernel-cache hit, zero partition misses, no trace
+  re-record, bit-identical metrics) is checked unconditionally — a
+  contract break fails regardless of any baseline.
+
+Exits non-zero on regression.  Usage::
+
+    PYTHONPATH=src python tools/bench_check.py            # compare both
+    PYTHONPATH=src python tools/bench_check.py --write    # (re)record baselines
+    PYTHONPATH=src python tools/bench_check.py --scenario iterative
 """
 from __future__ import annotations
 
@@ -26,9 +38,53 @@ BENCH_DIR = REPO / "benchmarks"
 ITERATIONS = 50
 
 
-def fresh_run():
+def _import_repro():
     sys.path.insert(0, str(REPO / "src"))
-    from repro.bench.iterative import run_iterative_spmv
+
+
+def latest_baseline(scenario: str):
+    # Sort by the timestamp embedded in the filename (lexicographically
+    # ordered), not mtime — checkout order must not pick the baseline.
+    # Baselines are machine-local (gitignored): a fresh machine records its
+    # own on first run instead of comparing against another host's clock.
+    candidates = sorted(BENCH_DIR.glob(f"BENCH_{scenario}_*.json"))
+    return candidates[-1] if candidates else None
+
+
+def _gate_ratio(scenario: str, stat_name: str, fresh_value: float,
+                write: bool, threshold: float, record) -> int:
+    """Compare ``fresh_value`` against the latest baseline's ``stat_name``;
+    ``record()`` writes a new baseline file and returns its path."""
+    if write:
+        path = record()
+        print(f"baseline written: {path.name}")
+        return 0
+    baseline_path = latest_baseline(scenario)
+    if baseline_path is None:
+        path = record()
+        print(f"no BENCH_{scenario}_*.json baseline found; recorded {path.name}")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    base = baseline.get(stat_name)
+    if not base:
+        print(f"baseline {baseline_path.name} lacks {stat_name}; ignoring")
+        return 0
+    floor = base * (1.0 - threshold)
+    print(f"baseline {baseline_path.name}: {stat_name} {base:.2f}x "
+          f"-> floor {floor:.2f}x")
+    if fresh_value < floor:
+        print(f"FAIL: {stat_name} dropped to {fresh_value:.2f}x "
+              f"(> {100 * threshold:.0f}% regression vs {base:.2f}x)")
+        return 1
+    print("OK: within threshold")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# scenario: iterative (in-process amortization)
+# --------------------------------------------------------------------------- #
+def check_iterative(write: bool, threshold: float) -> int:
+    from repro.bench.iterative import run_iterative_spmv, write_bench_report
     from repro.core import clear_caches
 
     # Warm-up stabilizes allocator/import effects; drop its cache entries
@@ -44,64 +100,69 @@ def fresh_run():
             best_c = c
         if best_u is None or u.wall_steady < best_u.wall_steady:
             best_u = u
-    return best_c, best_u
+    speedup = best_u.wall_steady / best_c.wall_steady
+    print(f"iterative: cached {best_c.wall_steady * 1e3:.3f} ms/iter, "
+          f"seed {best_u.wall_steady * 1e3:.3f} ms/iter, "
+          f"speedup {speedup:.2f}x ({best_c.trace_hits} trace replays)")
+    return _gate_ratio(
+        "iterative", "steady_speedup", speedup, write, threshold,
+        lambda: write_bench_report(best_c, best_u, BENCH_DIR),
+    )
 
 
-def latest_baseline():
-    # Sort by the timestamp embedded in the filename (lexicographically
-    # ordered), not mtime — checkout order must not pick the baseline.
-    # Baselines are machine-local (gitignored): a fresh machine records its
-    # own on first run instead of comparing against another host's clock.
-    candidates = sorted(BENCH_DIR.glob("BENCH_*.json"))
-    return candidates[-1] if candidates else None
+# --------------------------------------------------------------------------- #
+# scenario: warmstart (cross-process amortization)
+# --------------------------------------------------------------------------- #
+def check_warmstart(write: bool, threshold: float) -> int:
+    from repro.bench.warmstart import run_warmstart, write_warmstart_report
+    from repro.core import clear_caches
 
+    clear_caches()
+    result = run_warmstart(iterations=20)
+    print(f"warmstart: cold first {result.cold_first_s * 1e3:.3f} ms, "
+          f"warm first {result.warm_first_s * 1e3:.3f} ms, "
+          f"speedup {result.warmstart_speedup:.2f}x")
 
-def write_baseline(cached, uncached) -> Path:
-    from repro.bench.iterative import write_bench_report
-
-    return write_bench_report(cached, uncached, BENCH_DIR)
+    # The contract is gated unconditionally — no baseline required.
+    broken = []
+    if not result.warm_first_hit_kernel_cache:
+        broken.append("first compile missed the kernel cache")
+    if result.warm_first_partition_misses:
+        broken.append(f"{result.warm_first_partition_misses} partition misses")
+    if result.warm_first_trace_records:
+        broken.append(f"{result.warm_first_trace_records} trace re-records")
+    if not result.metrics_bit_identical:
+        broken.append("simulated metrics diverged from the in-process path")
+    if not result.checksum_bit_identical:
+        broken.append("numeric checksum diverged from the in-process path")
+    if broken:
+        print("FAIL: warm-start contract broken: " + "; ".join(broken))
+        return 1
+    print("warm-start contract holds (kernel hit, no re-partitioning, "
+          "no re-record, bit-identical metrics)")
+    return _gate_ratio(
+        "warmstart", "warmstart_speedup", result.warmstart_speedup, write,
+        threshold, lambda: write_warmstart_report(result, BENCH_DIR),
+    )
 
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--threshold", type=float, default=0.20,
-                    help="allowed relative regression of cached-iteration "
-                         "time (gated via the cached-vs-seed speedup ratio)")
+                    help="allowed relative regression of a gated speedup")
     ap.add_argument("--write", action="store_true",
-                    help="record a new baseline instead of comparing")
+                    help="record new baselines instead of comparing")
+    ap.add_argument("--scenario", choices=("iterative", "warmstart", "all"),
+                    default="all")
     args = ap.parse_args(argv)
 
-    cached, uncached = fresh_run()
-    speedup = uncached.wall_steady / cached.wall_steady
-    print(f"fresh: cached {cached.wall_steady * 1e3:.3f} ms/iter, "
-          f"seed {uncached.wall_steady * 1e3:.3f} ms/iter, "
-          f"speedup {speedup:.2f}x ({cached.trace_hits} trace replays)")
-
-    if args.write:
-        path = write_baseline(cached, uncached)
-        print(f"baseline written: {path.name}")
-        return 0
-
-    baseline_path = latest_baseline()
-    if baseline_path is None:
-        path = write_baseline(cached, uncached)
-        print(f"no BENCH_*.json baseline found; recorded {path.name}")
-        return 0
-
-    baseline = json.loads(baseline_path.read_text())
-    base = baseline.get("steady_speedup")
-    if not base:
-        print(f"baseline {baseline_path.name} lacks steady_speedup; ignoring")
-        return 0
-    floor = base * (1.0 - args.threshold)
-    print(f"baseline {baseline_path.name}: speedup {base:.2f}x "
-          f"-> floor {floor:.2f}x")
-    if speedup < floor:
-        print(f"FAIL: cached-iteration speedup dropped to {speedup:.2f}x "
-              f"(> {100 * args.threshold:.0f}% regression vs {base:.2f}x)")
-        return 1
-    print("OK: within threshold")
-    return 0
+    _import_repro()
+    rc = 0
+    if args.scenario in ("iterative", "all"):
+        rc |= check_iterative(args.write, args.threshold)
+    if args.scenario in ("warmstart", "all"):
+        rc |= check_warmstart(args.write, args.threshold)
+    return rc
 
 
 if __name__ == "__main__":

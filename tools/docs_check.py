@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Documentation lint: every public module under ``src/repro`` must carry a
+module-level docstring.
+
+The docs site (``README.md``, ``docs/``) points into module docstrings for
+the authoritative, code-adjacent documentation — a missing docstring is a
+hole in the site.  A module is *public* unless its own name (or any
+package on its path) starts with an underscore; ``__init__.py`` files are
+public and checked too.
+
+The check is ``ast``-based (no imports are executed), so it is safe to run
+on any checkout.  Exits non-zero listing every offender; with ``--min-words``
+it also flags placeholder one-worders.
+
+Usage::
+
+    python tools/docs_check.py            # lint src/repro
+    python tools/docs_check.py --root src/other --min-words 3
+"""
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_ROOT = REPO / "src" / "repro"
+
+
+def is_public(path: Path, root: Path) -> bool:
+    rel = path.relative_to(root)
+    for part in rel.parts:
+        name = part[:-3] if part.endswith(".py") else part
+        if name.startswith("_") and name != "__init__":
+            return False
+    return True
+
+
+def module_docstring(path: Path):
+    """The module docstring of ``path``, or None (parse errors count as a
+    missing docstring — a module the linter cannot read cannot be read by
+    anyone else either)."""
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError:
+        return None
+    return ast.get_docstring(tree)
+
+
+def check(root: Path, min_words: int) -> list:
+    offenders = []
+    for path in sorted(root.rglob("*.py")):
+        if not is_public(path, root):
+            continue
+        doc = module_docstring(path)
+        if doc is None:
+            offenders.append((path, "missing module docstring"))
+        elif len(doc.split()) < min_words:
+            offenders.append((path, f"docstring under {min_words} words"))
+    return offenders
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path, default=DEFAULT_ROOT,
+                    help="package directory to lint (default: src/repro)")
+    ap.add_argument("--min-words", type=int, default=3,
+                    help="minimum words for a docstring to count (default 3)")
+    args = ap.parse_args(argv)
+
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"docs_check: no such directory: {root}", file=sys.stderr)
+        return 2
+    offenders = check(root, args.min_words)
+    if offenders:
+        print(f"docs_check: {len(offenders)} public module(s) lack docs:")
+        for path, why in offenders:
+            print(f"  {path.relative_to(REPO)}: {why}")
+        return 1
+    n = sum(1 for p in root.rglob('*.py') if is_public(p, root))
+    print(f"docs_check: OK ({n} public modules documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
