@@ -1,9 +1,15 @@
 """SpDISTAL kernel runners for the experiment harness.
 
-Each runner builds fresh tensors for one dataset, applies the schedule the
+Each runner builds the tensors for one dataset, applies the schedule the
 paper uses for that kernel/processor kind (§VI-A), compiles, executes one
 cold trial (placement + staging) and returns the steady-state warm trial —
 matching the paper's 10-warmup / 20-trial methodology.
+
+Sparse operands are obtained through :func:`repro.bench.warmstore.packed_operand`:
+per-node-count trials over the same dataset reuse one packed structure
+(and, when the persistent warm store is enabled, fresh processes
+``load_packed`` it instead of re-packing).  Output tensors and dense
+operands stay per-trial — they are written to or are cheap copies.
 
 The returned :class:`SimResult` carries the simulated seconds, communication
 volume, and the numerical output for verification.
@@ -24,6 +30,7 @@ from ..taco.index_vars import IndexVar, index_vars
 from ..taco.tensor import Tensor
 from ..core.compiler import CompiledKernel, compile_kernel
 from .models import BenchConfig, default_config
+from .warmstore import packed_operand
 
 __all__ = [
     "SimResult",
@@ -96,7 +103,7 @@ def spdistal_spmv(
     def body():
         machine = _machine(cfg, nodes, gpus)
         pieces = machine.size
-        B = Tensor.from_scipy("B", A, CSR)
+        B = packed_operand("B", A, CSR)
         c = Tensor.from_dense("c", x)
         a = Tensor.zeros("a", (A.shape[0],))
         i, j = index_vars("i j")
@@ -133,7 +140,7 @@ def spdistal_spmm(
     def body():
         machine = _machine(cfg, nodes, gpus)
         pieces = machine.size
-        B = Tensor.from_scipy("B", A, CSR)
+        B = packed_operand("B", A, CSR)
         Ct = Tensor.from_dense("C", C)
         out = Tensor.zeros("A", (A.shape[0], C.shape[1]))
         i, k, j = index_vars("i k j")
@@ -176,9 +183,9 @@ def spdistal_spadd3(
     def body():
         machine = _machine(cfg, nodes, gpus)
         pieces = machine.size
-        Bt = Tensor.from_scipy("B", B, CSR)
-        Ct = Tensor.from_scipy("C", C, CSR)
-        Dt = Tensor.from_scipy("D", D, CSR)
+        Bt = packed_operand("B", B, CSR)
+        Ct = packed_operand("C", C, CSR)
+        Dt = packed_operand("D", D, CSR)
         out = Tensor.zeros("A", B.shape, CSR)
         i, j = index_vars("i j")
         out[i, j] = Bt[i, j] + Ct[i, j] + Dt[i, j]
@@ -208,7 +215,7 @@ def spdistal_sddmm(
     def body():
         machine = _machine(cfg, nodes, gpus)
         pieces = machine.size
-        Bt = Tensor.from_scipy("B", B, CSR)
+        Bt = packed_operand("B", B, CSR)
         Ct = Tensor.from_dense("C", C)
         Dt = Tensor.from_dense("D", D)
         out = Tensor.zeros("A", B.shape, CSR)

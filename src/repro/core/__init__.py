@@ -46,6 +46,7 @@ from .store import (
     save_packed,
     stable_fingerprint,
 )
+from .store_index import ArtifactStore, GCStats, fingerprint_key, gc_artifacts
 
 __all__ = [
     "PartitioningPlan", "PlanStmt",
@@ -61,4 +62,5 @@ __all__ = [
     "classify", "compile_kernel",
     "PackedArtifact", "load_packed", "read_manifest", "save_packed",
     "stable_fingerprint",
+    "ArtifactStore", "GCStats", "fingerprint_key", "gc_artifacts",
 ]

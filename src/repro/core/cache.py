@@ -396,16 +396,14 @@ def kernel_fingerprint(schedule: Schedule, machine) -> Tuple:
     )
     tensor_ids = tuple(id(t) for t in canon.tensors)
     assembled = None
-    if is_assembled_output(asg) and not asg.accumulate:
-        lhs_t = asg.lhs.tensor
-        # Exclude the LHS version only when the statement does not *read*
-        # the LHS: an aliased SpAdd (``A = B + A``) consumes A's pattern
-        # as an input, so its version must stay in the key (each
-        # re-assembly then recompiles, as on the seed path).  The
-        # ``accumulate`` sugar (``A = A + B + C``) strips A from the
-        # operands but still reads it, hence the explicit flag check.
-        if all(o.tensor is not lhs_t for o in asg.rhs.operands):
-            assembled = lhs_t
+    if is_assembled_output(asg):
+        # The LHS pattern version is excluded for every assembled statement,
+        # including the aliased forms (``A = B + A``, and the ``accumulate``
+        # sugar): execution snapshots the aliased operand's pre-install
+        # arrays (see ``CompiledKernel._execute_spadd``), so the compiled
+        # kernel never reads through the stale structure and each
+        # re-assembly can reuse the kernel and replay its mapping traces.
+        assembled = asg.lhs.tensor
     tensor_states = tuple(
         _assembled_output_state(t) if t is assembled else _tensor_state(t)
         for t in canon.tensors

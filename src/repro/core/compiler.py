@@ -179,6 +179,7 @@ class CompiledKernel:
         self._runtime: Optional[Runtime] = None
         self._leaf: Optional[Callable[[Piece], Work]] = None
         self._streamed: set = set()
+        self._spadd_reqs: Optional[List[RegionReq]] = None
 
     def stream_tensor(self, tensor: Tensor) -> None:
         """Communicate this tensor's sub-regions in memory-sized rounds
@@ -309,6 +310,13 @@ class CompiledKernel:
 
     def _execute_compute(self, rt: Runtime) -> None:
         if self._leaf is None:
+            # Write targets must be promoted before the leaf captures their
+            # arrays: a leaf closure over a read-only mmap-backed region
+            # (load_packed(..., mmap=True)) would crash on its first write,
+            # and a later promotion could not reach the captured buffer.
+            for t_id, part in self.parts.items():
+                if self.privileges.get(t_id, Privilege.READ_ONLY) != Privilege.READ_ONLY:
+                    part.tensor.ensure_writable()
             self._leaf = _build_leaf(self)
         if self._needs_zero():
             self.out.vals.fill(0.0)
@@ -332,16 +340,36 @@ class CompiledKernel:
     def _execute_spadd(self, rt: Runtime) -> None:
         out = self.out
         nrows, ncols = out.shape
-        ops_meta = [
-            (o.tensor.levels[1].pos.data, o.tensor.levels[1].crd.data)
-            for o in self.operands
+        # Operand array snapshot, taken BEFORE install_assembled_output
+        # replaces the output's structure: an aliased operand (``A = B + A``,
+        # or the ``accumulate`` sugar, which strips A from the operand list
+        # but still reads it) shares that structure, and the pre-install
+        # arrays are the values the statement consumes.  Re-reading through
+        # the tensor after install would see the freshly-sized empty output
+        # instead — the seed bug that crashed or dropped the aliased operand.
+        operand_tensors = [o.tensor for o in self.operands]
+        if self.schedule.assignment.accumulate and all(
+            t is not out for t in operand_tensors
+        ):
+            operand_tensors.append(out)
+        snaps = [
+            (t.levels[1].pos.data, t.levels[1].crd.data, t.vals.data)
+            for t in operand_tensors
         ]
+        ops_meta = [(pos, crd) for pos, crd, _vals in snaps]
         counts = np.zeros(nrows, dtype=np.int64)
-        meta_reqs = [
-            req
-            for o in self.operands
-            for req in self.parts[id(o.tensor)].region_reqs(Privilege.READ_ONLY)
-        ]
+        # The launch requirements are frozen on first execute, while the
+        # aliased operand's structure still matches its compile-time
+        # partitions.  Rebuilding them per iteration would pair the stale
+        # partitions with the freshly installed regions — new uids every
+        # time, so the assembly chain could never replay its traces.
+        if self._spadd_reqs is None:
+            self._spadd_reqs = [
+                req
+                for t in operand_tensors
+                for req in self.parts[id(t)].region_reqs(Privilege.READ_ONLY)
+            ]
+        read_reqs = self._spadd_reqs
         by_color = {p.color: p for p in self.pieces}
 
         def symbolic(color):
@@ -356,7 +384,7 @@ class CompiledKernel:
             "spadd:symbolic",
             [p.color for p in self.pieces],
             symbolic,
-            meta_reqs,
+            read_reqs,
             proc_map=self._proc_of_color,
         )
 
@@ -374,26 +402,16 @@ class CompiledKernel:
                 )
         out_pos, out_crd, out_vals = install_assembled_output(out, counts, ncols)
 
-        ops_full = [
-            (o.tensor.levels[1].pos.data, o.tensor.levels[1].crd.data, o.tensor.vals.data)
-            for o in self.operands
-        ]
-        fill_reqs = [
-            req
-            for o in self.operands
-            for req in self.parts[id(o.tensor)].region_reqs(Privilege.READ_ONLY)
-        ]
-
         def fill(color):
             p = by_color[color]
             r0, r1 = p.rows
-            return K.spadd3_fill(ops_full, ncols, out_pos, out_crd, out_vals, r0, r1)
+            return K.spadd3_fill(snaps, ncols, out_pos, out_crd, out_vals, r0, r1)
 
         rt.index_launch(
             "spadd:fill",
             [p.color for p in self.pieces],
             fill,
-            fill_reqs,
+            read_reqs,
             proc_map=self._proc_of_color,
         )
 

@@ -19,20 +19,32 @@ packed tensor:
 * the **runtimes** those kernels executed on, with their recorded mapping
   traces, home placements and symbolic residency state.
 
-An artifact is a directory with two files:
+An artifact is a directory:
 
 ``payload.pkl``
     One pickle of the object graph above.  Shared structure (a ``crd``
     region adopted by two tensors, a runtime shared by two kernels) is
-    preserved exactly.
+    preserved exactly.  Tensor level arrays above ``sidecar_threshold``
+    bytes are *not* inside the pickle — they are replaced by references
+    into ``regions/``.
+
+``regions/r<uid>.npy``
+    Raw NumPy sidecars holding the big level arrays (``pos``/``crd``/
+    ``vals``).  :func:`load_packed` loads them eagerly by default, or as
+    read-only memory maps with ``mmap=True`` (``np.load(mmap_mode="r")``)
+    so artifacts larger than RAM warm-start lazily; the first mutation
+    promotes a mapped region to a private copy and bumps the owning
+    tensors' ``pattern_version`` (see :class:`repro.legion.region.Region`).
 
 ``manifest.json``
     Human-readable metadata keyed on the *stable* schedule fingerprint
     (the canonical fingerprint of :func:`repro.core.cache.kernel_fingerprint`
     minus the process-local tensor ids, hashed), each tensor's
-    ``pattern_version``, and the structural machine signature.  Read this
-    to inspect an artifact without unpickling it; :func:`load_packed`
-    validates it against the payload.
+    ``pattern_version``, and the structural machine signature — plus the
+    SHA-256 of the payload and of every sidecar, which is what the
+    content-addressed index (:mod:`repro.core.store_index`) dedups on.
+    Read this to inspect an artifact without unpickling it;
+    :func:`load_packed` validates it against the payload.
 
 ``load_packed`` re-seeds the process-local caches under the *new* object
 identities (fingerprints are recomputed over the unpickled tensors, trace
@@ -52,13 +64,16 @@ import hashlib
 import json
 import pickle
 import time
+
+import numpy as np
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..errors import StoreError
+from ..errors import StoreError, StoreFormatError
 from ..legion.index_space import IndexSpace
 from ..legion.region import Region
+from ..legion.runtime import Privilege
 from ..taco.tensor import CompressedLevel, Tensor
 from . import cache as _cache
 
@@ -70,11 +85,51 @@ __all__ = [
     "read_manifest",
     "stable_fingerprint",
     "machine_signature",
+    "file_sha256",
 ]
 
-STORE_FORMAT_VERSION = 1
+STORE_FORMAT_VERSION = 2
 PAYLOAD_NAME = "payload.pkl"
 MANIFEST_NAME = "manifest.json"
+REGIONS_DIR = "regions"
+#: Level arrays at or above this many bytes leave the pickle for ``.npy``
+#: sidecars (mmap-able on load); smaller ones stay inline.
+SIDECAR_THRESHOLD = 4096
+
+#: Keys every manifest must carry, with their required types —
+#: validated *before* any payload byte is unpickled.
+_MANIFEST_SCHEMA = {
+    "format_version": int,
+    "payload": str,
+    "payload_bytes": int,
+    "tensor": dict,
+    "companions": list,
+    "kernels": list,
+    "regions": list,
+}
+
+
+def file_sha256(path: Union[str, Path]) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+class _SidecarRef:
+    """Pickle placeholder for a region array stored as a ``.npy`` sidecar."""
+
+    __slots__ = ("file",)
+
+    def __init__(self, file: str):
+        self.file = file
+
+    def __getstate__(self):
+        return self.file
+
+    def __setstate__(self, state):
+        self.file = state
 
 
 def machine_signature(machine) -> Tuple:
@@ -117,17 +172,31 @@ class PackedArtifact:
     def all_tensors(self) -> List[Tensor]:
         return [self.tensor] + list(self.companions.values())
 
+    def region_residency(self) -> Dict[str, int]:
+        """Byte accounting of the loaded region data: ``mapped`` counts
+        bytes still served lazily from read-only mmaps, ``resident`` counts
+        bytes materialized in process RAM.  The sum is the artifact's total
+        region footprint; with ``mmap=True`` only write-privileged (or
+        explicitly promoted) tensors contribute to ``resident``."""
+        mapped = resident = 0
+        seen = set()
+        for t in self.all_tensors():
+            for region in t.regions():
+                if id(region) in seen:
+                    continue
+                seen.add(id(region))
+                if region.is_mapped:
+                    mapped += region.data.nbytes
+                else:
+                    resident += region.data.nbytes
+        return {"mapped": mapped, "resident": resident}
+
 
 # --------------------------------------------------------------------------- #
 # save
 # --------------------------------------------------------------------------- #
 def _tensor_regions(tensor: Tensor):
-    for lvl in tensor.levels:
-        if isinstance(lvl, CompressedLevel):
-            yield lvl.pos
-            yield lvl.crd
-    if tensor.vals is not None:
-        yield tensor.vals
+    return tensor.regions()
 
 
 def _tensor_meta(tensor: Tensor) -> Dict[str, Any]:
@@ -149,6 +218,7 @@ def save_packed(
     *,
     include_caches: bool = True,
     runtime=None,
+    sidecar_threshold: int = SIDECAR_THRESHOLD,
 ) -> Path:
     """Persist ``tensor`` (and, by default, its amortization state) to the
     artifact directory ``path``.
@@ -158,6 +228,11 @@ def save_packed(
     pins, the partition-memo entries of all those tensors, and the
     runtimes the kernels executed on (traces included).  Pass an explicit
     ``runtime`` to persist one that is not attached to any cached kernel.
+
+    Level arrays at or above ``sidecar_threshold`` bytes are written as raw
+    ``regions/r<uid>.npy`` sidecars instead of travelling inside the pickle
+    (pass ``0`` to sidecar everything, a negative value to inline
+    everything); ``load_packed(..., mmap=True)`` then maps them lazily.
     Returns the artifact directory path.
     """
     path = Path(path)
@@ -233,9 +308,46 @@ def save_packed(
         "max_region_uid": max_region_uid,
         "max_ispace_uid": max_ispace_uid,
     }
+
+    # Sidecar extraction: big level arrays leave the pickle for raw .npy
+    # files.  The arrays are swapped for references only for the duration
+    # of the dump — the live tensors are untouched afterwards.
+    sidecars: List[Tuple[Region, Any, str]] = []  # (region, array, file)
+    regions_meta: List[Dict[str, Any]] = []
+    if sidecar_threshold >= 0:
+        seen = set()
+        regions_dir = path / REGIONS_DIR
+        for t in tensor_set:
+            for region in _tensor_regions(t):
+                if id(region) in seen:
+                    continue
+                seen.add(id(region))
+                arr = region.data
+                if arr.nbytes < sidecar_threshold:
+                    continue
+                regions_dir.mkdir(exist_ok=True)
+                fname = f"{REGIONS_DIR}/r{region.uid}.npy"
+                np.save(path / fname, np.asarray(arr))
+                sidecars.append((region, arr, fname))
+        for region, _arr, fname in sidecars:
+            regions_meta.append(
+                {
+                    "file": fname,
+                    "region": region.name,
+                    "bytes": int((path / fname).stat().st_size),
+                    "sha256": file_sha256(path / fname),
+                }
+            )
+
     payload_path = path / PAYLOAD_NAME
-    with open(payload_path, "wb") as f:
-        pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        for region, _arr, fname in sidecars:
+            region.data = _SidecarRef(fname)
+        with open(payload_path, "wb") as f:
+            pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        for region, arr, _fname in sidecars:
+            region.data = arr
 
     kernels_meta = []
     for kernel, tensors in kernel_entries:
@@ -253,14 +365,21 @@ def save_packed(
                 "tensors": [t.name for t in tensors],
             }
         )
+    payload_sha = file_sha256(payload_path)
+    content = hashlib.sha256(payload_sha.encode())
+    for meta in sorted(regions_meta, key=lambda m: m["file"]):
+        content.update(meta["sha256"].encode())
     manifest = {
         "format_version": STORE_FORMAT_VERSION,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "payload": PAYLOAD_NAME,
         "payload_bytes": payload_path.stat().st_size,
+        "payload_sha256": payload_sha,
+        "content_hash": content.hexdigest(),
         "tensor": _tensor_meta(tensor),
         "companions": [_tensor_meta(t) for t in tensor_set if t is not tensor],
         "kernels": kernels_meta,
+        "regions": regions_meta,
         "partition_entries": len(partition_entries),
         "runtimes": len(runtimes),
         "trace_count": sum(
@@ -275,7 +394,14 @@ def save_packed(
 # load
 # --------------------------------------------------------------------------- #
 def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
-    """Read and validate an artifact's JSON manifest (no unpickling)."""
+    """Read and validate an artifact's JSON manifest (no unpickling).
+
+    Validation happens *before* anything is unpickled: the format version
+    must match and the required keys must be present with the right types,
+    so truncated or foreign files fail with a typed
+    :class:`~repro.errors.StoreFormatError` naming the path and the
+    expected/found versions — never a raw ``KeyError``.
+    """
     path = Path(path)
     manifest_path = path / MANIFEST_NAME if path.is_dir() else path
     if not manifest_path.exists():
@@ -283,18 +409,61 @@ def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
     try:
         manifest = json.loads(manifest_path.read_text())
     except ValueError as e:
-        raise StoreError(f"{manifest_path}: corrupt manifest: {e}") from e
+        raise StoreFormatError(manifest_path, f"corrupt manifest: {e}")
+    if not isinstance(manifest, dict):
+        raise StoreFormatError(manifest_path, "manifest is not a JSON object")
     version = manifest.get("format_version")
     if version != STORE_FORMAT_VERSION:
-        raise StoreError(
-            f"{manifest_path}: unsupported store format version {version!r} "
-            f"(this build reads version {STORE_FORMAT_VERSION})"
+        raise StoreFormatError(
+            manifest_path,
+            "unsupported store format version",
+            expected=STORE_FORMAT_VERSION,
+            found=version,
         )
+    missing = [
+        key
+        for key, typ in _MANIFEST_SCHEMA.items()
+        if not isinstance(manifest.get(key), typ)
+    ]
+    if missing:
+        raise StoreFormatError(
+            manifest_path,
+            f"manifest missing or mistyped required keys: {', '.join(missing)}",
+        )
+    for counter in ("pattern_version", "assembly_version"):
+        if not isinstance(manifest["tensor"].get(counter), int):
+            raise StoreFormatError(
+                manifest_path, f"manifest tensor entry lacks {counter}"
+            )
     return manifest
 
 
+def _resolve_sidecars(path: Path, tensors: List[Tensor], mmap: bool) -> None:
+    """Replace every :class:`_SidecarRef` left in the unpickled regions with
+    its array — eagerly loaded, or a read-only memory map with ``mmap``.
+    Shared regions resolve once (pickle preserved the sharing)."""
+    for t in tensors:
+        for region in _tensor_regions(t):
+            ref = region.data
+            if not isinstance(ref, _SidecarRef):
+                continue
+            sidecar = path / ref.file
+            if not sidecar.exists():
+                raise StoreError(
+                    f"{path}: payload references a missing sidecar {ref.file}"
+                )
+            if mmap:
+                region.data = np.load(sidecar, mmap_mode="r")
+            else:
+                region.data = np.load(sidecar)
+
+
 def load_packed(
-    path: Union[str, Path], *, restore_caches: bool = True
+    path: Union[str, Path],
+    *,
+    restore_caches: bool = True,
+    mmap: bool = False,
+    writable: Tuple[str, ...] = (),
 ) -> PackedArtifact:
     """Load an artifact directory written by :func:`save_packed`.
 
@@ -305,10 +474,20 @@ def load_packed(
     process that rebuilds the saved schedule over the returned tensors
     compiles to a cache hit and replays the stored mapping traces on its
     first execute.
+
+    With ``mmap`` the region sidecars are *not* read into RAM: each becomes
+    a read-only ``np.load(mmap_mode="r")`` map, paged in lazily, with
+    copy-on-write promotion (and a ``pattern_version`` bump) on first
+    mutation.  Tensors that any stored kernel holds write privileges on,
+    plus any named in ``writable``, are promoted immediately — *before* the
+    caches are re-seeded — so the warm-start cache-hit contract survives
+    the promotion bumps.  To mutate other tensors' data directly, name them
+    in ``writable`` or call ``tensor.ensure_writable()`` (which costs the
+    cached kernels over that tensor).
     """
     path = Path(path)
     manifest = read_manifest(path)
-    payload_path = path / manifest.get("payload", PAYLOAD_NAME)
+    payload_path = path / manifest["payload"]
     if not payload_path.exists():
         raise StoreError(f"{payload_path}: manifest names a missing payload")
     try:
@@ -322,13 +501,18 @@ def load_packed(
     if not isinstance(payload, dict):
         raise StoreError(f"{payload_path}: payload is not an artifact dict")
     if payload.get("format_version") != manifest["format_version"]:
-        raise StoreError(
-            f"{path}: payload format version {payload.get('format_version')!r} "
-            f"does not match manifest {manifest['format_version']!r}"
+        raise StoreFormatError(
+            path,
+            "payload format version does not match manifest",
+            expected=manifest["format_version"],
+            found=payload.get("format_version"),
         )
+    for key in ("tensor", "companions", "kernels", "runtimes"):
+        if key not in payload:
+            raise StoreError(f"{payload_path}: payload lacks the {key!r} entry")
 
     tensor: Tensor = payload["tensor"]
-    declared = manifest.get("tensor", {})
+    declared = manifest["tensor"]
     for counter in ("pattern_version", "assembly_version"):
         if declared.get(counter) != getattr(tensor, counter):
             raise StoreError(
@@ -337,8 +521,36 @@ def load_packed(
                 "(stale manifest next to a rewritten payload?)"
             )
 
+    all_tensors: List[Tensor] = [tensor] + list(payload.get("companions", ()))
+    _resolve_sidecars(path, all_tensors, mmap)
+
     Region.advance_uid_counter(payload.get("max_region_uid", -1))
     IndexSpace.advance_uid_counter(payload.get("max_ispace_uid", -1))
+
+    if mmap:
+        # Promotion hooks: the first mutation of a mapped region bumps the
+        # owning tensors' pattern_version, invalidating any cache entry
+        # whose leaf captured the mapped buffer.
+        for t in all_tensors:
+            for region in _tensor_regions(t):
+                if region.is_mapped:
+                    region.add_promote_hook(t._bump_pattern_version)
+        # Promote known write targets *before* re-seeding the caches, so
+        # the re-seeded fingerprints already embed the bumped versions and
+        # the first compile still hits.
+        by_name = {t.name: t for t in all_tensors}
+        for name in writable:
+            if name not in by_name:
+                raise StoreError(
+                    f"{path}: writable names unknown tensor {name!r} "
+                    f"(artifact holds {sorted(by_name)})"
+                )
+            by_name[name].ensure_writable()
+        for kernel, tensors in payload.get("kernels", ()):
+            for t in tensors:
+                priv = kernel.privileges.get(id(t))
+                if priv is not None and priv != Privilege.READ_ONLY:
+                    t.ensure_writable()
 
     kernels = []
     if restore_caches and _cache.caches_enabled():

@@ -22,12 +22,14 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..core.store import PackedArtifact, load_packed, save_packed
+from ..core.store_index import ArtifactStore, gc_artifacts
 from ..taco.formats import Format
 from ..taco.tensor import Tensor
 
 __all__ = [
     "write_matrix_market", "read_matrix_market", "write_tns", "read_tns",
     "save_packed", "load_packed", "PackedArtifact",
+    "ArtifactStore", "gc_artifacts",
 ]
 
 

@@ -3,7 +3,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError", "OOMError", "CompileError", "ScheduleError", "FormatError",
-    "StoreError",
+    "StoreError", "StoreFormatError",
 ]
 
 
@@ -40,3 +40,19 @@ class StoreError(ReproError):
     """A persistent artifact (``repro.core.store``) could not be read or
     written: missing/corrupt manifest, unsupported format version, or a
     manifest that does not match its payload."""
+
+
+class StoreFormatError(StoreError):
+    """An artifact (or store index) failed structural validation *before*
+    any payload was unpickled: unsupported/mismatched format version or a
+    manifest missing required keys.  Carries the artifact path and, for
+    version problems, the expected and found versions."""
+
+    def __init__(self, path, message: str, *, expected=None, found=None):
+        self.path = str(path)
+        self.expected = expected
+        self.found = found
+        detail = ""
+        if expected is not None or found is not None:
+            detail = f" (expected {expected!r}, found {found!r})"
+        super().__init__(f"{path}: {message}{detail}")

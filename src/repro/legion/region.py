@@ -37,9 +37,24 @@ class Region:
     dimension.  ``subset_view`` returns a view for contiguous (rect) subsets
     and a gathered copy for irregular subsets — mirroring how a runtime
     materializes a physical instance for a sub-region.
+
+    The backing array may be a *read-only memory map* of an artifact
+    sidecar (``repro.core.store`` loads region data with
+    ``np.load(mmap_mode="r")`` on request), so artifacts larger than RAM
+    materialize pages lazily.  The first mutation through a region method
+    triggers **copy-on-write promotion**: the mapped array is copied into a
+    private writable array and every registered promotion hook fires (the
+    artifact store registers the owning tensors' ``_bump_pattern_version``
+    there, so caches that captured the mapped buffer self-invalidate).
+    Writes that bypass the region API (``region.data[...] = ...``) raise
+    NumPy's read-only error instead — call :meth:`promote` (or
+    ``Tensor.ensure_writable``) first.
     """
 
     _counter = itertools.count()
+    #: Class-level default; instances get their own list on the first
+    #: :meth:`add_promote_hook` (keeps old pickles and RectRegion cheap).
+    _promote_hooks: tuple = ()
 
     @classmethod
     def advance_uid_counter(cls, beyond: int) -> None:
@@ -74,6 +89,43 @@ class Region:
         self.uid = next(Region._counter)
         self.name = name or f"region{self.uid}"
 
+    # -- backing store / copy-on-write promotion ----------------------------
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @data.setter
+    def data(self, array: np.ndarray) -> None:
+        self._data = array
+
+    @property
+    def is_mapped(self) -> bool:
+        """True while the backing array is a read-only memory map."""
+        return isinstance(self._data, np.memmap) and not self._data.flags.writeable
+
+    def add_promote_hook(self, hook) -> None:
+        """Register a zero-argument callback fired once when (and only
+        when) this region's read-only backing array is promoted to RAM."""
+        if not isinstance(self._promote_hooks, list):
+            self._promote_hooks = list(self._promote_hooks)
+        if hook not in self._promote_hooks:
+            self._promote_hooks.append(hook)
+
+    def promote(self) -> bool:
+        """Copy-on-write promotion: replace a read-only (mmap-backed)
+        backing array with a private writable copy and fire the promotion
+        hooks.  No-op (returns False) when the array is already writable."""
+        if self._data.flags.writeable:
+            return False
+        self._data = np.array(self._data)
+        for hook in self._promote_hooks:
+            hook()
+        return True
+
+    def _ensure_writable(self) -> None:
+        if not self._data.flags.writeable:
+            self.promote()
+
     @property
     def dtype(self):
         return self.data.dtype
@@ -96,6 +148,7 @@ class Region:
         return self.data[subset.indices()]
 
     def write_subset(self, subset: IndexSubset, values: np.ndarray) -> None:
+        self._ensure_writable()
         key = subset.as_slice()
         if key is not None:
             self.data[key] = values
@@ -104,6 +157,7 @@ class Region:
 
     def accumulate_subset(self, subset: IndexSubset, values: np.ndarray) -> None:
         """Apply a sum-reduction of ``values`` into the subset (Legion redop)."""
+        self._ensure_writable()
         key = subset.as_slice()
         if key is not None:
             self.data[key] += values
@@ -111,6 +165,7 @@ class Region:
             np.add.at(self.data, subset.indices(), values)
 
     def fill(self, value) -> None:
+        self._ensure_writable()
         self.data[...] = value
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -151,6 +206,7 @@ class RectRegion(Region):
         return int(self.data[i, 0]), int(self.data[i, 1])
 
     def set_range(self, i: int, lo: int, hi: int) -> None:
+        self._ensure_writable()
         self.data[i, 0] = lo
         self.data[i, 1] = hi
 
@@ -161,6 +217,7 @@ class RectRegion(Region):
         return self.data[subset.indices()]
 
     def write_subset(self, subset: IndexSubset, values: np.ndarray) -> None:
+        self._ensure_writable()
         key = subset.as_slice()
         if key is not None:
             self.data[key] = values

@@ -197,6 +197,32 @@ class Tensor:
         """Dimension sizes in storage-level order."""
         return tuple(self.shape[m] for m in self.format.mode_ordering)
 
+    def regions(self):
+        """Yield this tensor's backing regions (each ``pos``/``crd`` of the
+        compressed levels, then ``vals``), deduplicated by identity —
+        ``adopt_pattern`` shares level regions between tensors."""
+        seen = set()
+        for lvl in self.levels:
+            if isinstance(lvl, CompressedLevel):
+                for region in (lvl.pos, lvl.crd):
+                    if id(region) not in seen:
+                        seen.add(id(region))
+                        yield region
+        if self.vals is not None and id(self.vals) not in seen:
+            yield self.vals
+
+    def ensure_writable(self) -> int:
+        """Promote every read-only (mmap-backed) region of this tensor to a
+        private writable copy (see :meth:`repro.legion.region.Region.promote`);
+        returns the number of regions promoted.  Required before writing
+        ``region.data`` directly on a tensor loaded with ``mmap=True`` —
+        region-method writes promote automatically, raw NumPy writes do not.
+        Promotions fire the registered ``pattern_version`` bump hooks, so
+        call this *before* the first compile over the tensor (or pass
+        ``writable=[name]`` to ``load_packed``) to keep warm-start cache
+        hits intact."""
+        return sum(1 for r in self.regions() if r.promote())
+
     # ------------------------------------------------------------------ #
     # index notation
     # ------------------------------------------------------------------ #
