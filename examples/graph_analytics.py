@@ -3,18 +3,18 @@
 The paper's introduction motivates sparse tensor algebra for data
 analytics; PageRank is the canonical iterated-SpMV workload.  This example
 compares the two SpMV distribution strategies of §II-D on a skewed web
-graph: the row-based algorithm (imbalanced under hub rows) and the
-non-zero-based algorithm (perfect balance at the price of reductions).
+graph — the auto-scheduler's row-based default, and the non-zero-based
+algorithm requested as a one-argument override (``strategy="nonzeros"``;
+a fully hand-built ``Schedule`` would work the same way).  Iterations
+re-enter the compiler every step the way a solver library would; the
+session's caches make steps 2..N replay.
 
 Run:  python examples/graph_analytics.py
 """
 import numpy as np
 
-from repro.bench.models import default_config
+import repro
 from repro.data.matrices import power_law
-from repro.legion import Machine, Runtime
-from repro.taco import CSR, Tensor, index_vars
-from repro.core import compile_kernel
 
 DAMPING = 0.85
 NODES = 8
@@ -25,45 +25,29 @@ def build_transition(n=2500, nnz=80_000):
     """Column-stochastic transition matrix of a synthetic web graph."""
     A = power_law(n, nnz, alpha=1.7, seed=3).tocsc()
     out = np.maximum(A.sum(axis=0).A.ravel(), 1.0)
-    A = A @ np.ones(1)[0] if False else A  # keep CSC
     A = A.multiply(1.0 / out).tocsr()
     return A
 
 
-def compile_spmv(A, strategy, machine):
-    B = Tensor.from_scipy("B", A, CSR)
-    x = Tensor.from_dense("x", np.full(A.shape[1], 1.0 / A.shape[1]))
-    y = Tensor.zeros("y", (A.shape[0],))
-    i, j = index_vars("i j")
-    y[i] = B[i, j] * x[j]
-    if strategy == "rows":
-        io, ii = index_vars("io ii")
-        s = (y.schedule().divide(i, io, ii, machine.size).distribute(io)
-             .communicate([y, B, x], io).parallelize(ii))
-    else:
-        f, fp, fo, fi = index_vars("f fp fo fi")
-        s = (y.schedule().fuse(i, j, f).pos(f, fp, B[i, j])
-             .divide(fp, fo, fi, machine.size).distribute(fo)
-             .communicate([y, B, x], fo))
-    return compile_kernel(s, machine), x, y
-
-
 def pagerank(A, strategy):
-    cfg = default_config()
-    machine = Machine.cpu(NODES, cfg.node)
-    runtime = Runtime(machine, cfg.legion_network())
-    kernel, x, y = compile_spmv(A, strategy, machine)
-    n = A.shape[0]
-    rank = np.full(n, 1.0 / n)
-    total = 0.0
-    comm = 0.0
-    for _ in range(ITERS):
-        x.vals.data[:] = rank
-        res = kernel.execute(runtime)  # per-iteration staging is re-paid
-        rank = DAMPING * y.vals.data + (1 - DAMPING) / n
-        total += res.simulated_seconds
-        comm += res.metrics.total_comm_bytes()
-    return rank, total, comm
+    with repro.session(nodes=NODES) as s:
+        B = s.tensor("B", A, repro.CSR)
+        x = s.tensor("x", np.full(A.shape[1], 1.0 / A.shape[1]))
+        y = s.zeros("y", (A.shape[0],))
+        i, j = repro.index_vars("i j")
+        y[i] = B[i, j] * x[j]
+        sched = repro.auto_schedule(y, s.machine, strategy=strategy)
+
+        n = A.shape[0]
+        rank = np.full(n, 1.0 / n)
+        total = comm = 0.0
+        for _ in range(ITERS):
+            x.vals.data[:] = rank
+            res = s.execute(sched)  # per-iteration staging is re-paid
+            rank = DAMPING * y.vals.data + (1 - DAMPING) / n
+            total += res.simulated_seconds
+            comm += res.metrics.total_comm_bytes()
+        return rank, total, comm
 
 
 def main():

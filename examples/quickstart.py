@@ -1,72 +1,59 @@
 """Quickstart: the paper's Fig. 1 — a distributed CPU SpMV in SpDISTAL.
 
-Declares the machine, the sparse formats with their data distributions,
-the computation in tensor index notation, and a row-based distribution
-schedule; then compiles, runs, and reports the simulated execution.
+The Session front end synthesizes everything the statement does not pin
+down: the machine comes from ``repro.session(nodes=4)``, the schedule from
+the auto-scheduler (the paper's canonical divide → distribute →
+communicate → parallelize mapping), and ``repro.einsum`` is the one-line
+entry point.  A hand-built schedule remains available as an override — the
+second half shows it producing bit-identical values *and* metrics.
 
 Run:  python examples/quickstart.py
 """
 import numpy as np
 
-from repro.bench.models import default_config
+import repro
 from repro.data.matrices import power_law
-from repro.distal import distribute
-from repro.legion import Machine, Runtime
-from repro.taco import CSR, Tensor, index_vars
-from repro.core import compile_kernel
 
 
 def main():
-    cfg = default_config()
-    pieces = 4
+    M = power_law(2000, 60_000, seed=1)                # a web-connectivity CSR
+    x = np.random.default_rng(0).random(M.shape[1])
 
-    # -- Define the machine M as a 1D grid of processors (Fig. 1, line 4).
-    machine = Machine.cpu(pieces, cfg.node)
-    runtime = Runtime(machine, cfg.legion_network())
+    # -- The whole SpMV: one session, one einsum. ------------------------------
+    with repro.session(nodes=4) as s:
+        a = repro.einsum("ij,j->i", s.tensor("B", M, repro.CSR),
+                         s.tensor("c", x), session=s)
+        result = s.last_result
 
-    # -- Create tensors.  B is a CSR web-connectivity matrix; a and c are
-    #    dense vectors (Fig. 1, lines 12-22).
-    M = power_law(2000, 60_000, seed=1)
-    B = Tensor.from_scipy("B", M, CSR)
-    c = Tensor.from_dense("c", np.random.default_rng(0).random(M.shape[1]))
-    a = Tensor.zeros("a", (M.shape[0],))
-
-    # -- Data distributions via tensor distribution notation: block B and a
-    #    row-wise onto M, replicate c (BlockedCSR / BlockedDense / ReplDense).
-    distribute(B, "B(x, y) -> M(x)", machine, runtime)
-    distribute(a, "a(x) -> M(x)", machine, runtime)
-    distribute(c, "c(x) -> M(y)", machine, runtime)
-
-    # -- Declare the computation: a(i) = B(i, j) * c(j)  (Fig. 1, line 26).
-    i, j, io, ii = index_vars("i j io ii")
-    a[i] = B[i, j] * c[j]
-
-    # -- Map the computation onto M via scheduling commands (lines 30-39).
-    sched = (
-        a.schedule()
-        .divide(i, io, ii, machine.x)   # block i for each node
-        .distribute(io)                 # each block on a different node
-        .communicate([a, B, c], io)     # fetch each piece's sub-tensors
-        .parallelize(ii)                # CPU threads within the node
-    )
-
-    kernel = compile_kernel(sched, machine)
-    print("Generated partitioning code:")
-    print(kernel.plan.describe())
-    print()
-
-    kernel.execute(runtime)            # cold run: placement + staging
-    result = kernel.execute(runtime)   # warm trial
-
-    expected = M @ c.dense_array()
-    assert np.allclose(a.vals.data, expected), "distributed SpMV disagrees!"
-    print(f"SpMV on {M.shape[0]}x{M.shape[1]} matrix ({M.nnz:,} nnz), "
-          f"{pieces} nodes:")
+    assert np.allclose(a.vals.data, M @ x), "distributed SpMV disagrees!"
+    print("Generated partitioning code (auto-scheduled):")
+    print(result.plan.describe())
+    print(f"\nSpMV on {M.shape[0]}x{M.shape[1]} matrix ({M.nnz:,} nnz), 4 nodes:")
     print(f"  simulated time     : {result.simulated_seconds * 1e3:.3f} ms")
-    print(f"  communication      : {result.metrics.total_comm_bytes():,.0f} bytes "
-          f"(matched distribution -> none)")
-    print(f"  tasks launched     : {result.metrics.total_tasks()}")
+    print(f"  communication      : {result.metrics.total_comm_bytes():,.0f} bytes")
     print("  result verified against SciPy.")
+
+    # -- The explicit mapping is an override, not a prerequisite. --------------
+    # The same statement with the paper's hand-written schedule (Fig. 1,
+    # lines 30-39) compiles to the identical kernel: bit-identical values
+    # and bit-identical simulated metrics.
+    with repro.session(nodes=4) as s:
+        B = s.tensor("B", M, repro.CSR)
+        c = s.tensor("c", x)
+        a2 = s.zeros("a", (M.shape[0],))
+        i, j, io, ii = repro.index_vars("i j io ii")
+        a2[i] = B[i, j] * c[j]
+        sched = (a2.schedule()
+                 .divide(i, io, ii, s.machine.x)  # block rows per node
+                 .distribute(io)                  # one block per processor
+                 .communicate([a2, B, c], io)     # move each piece's sub-tensors
+                 .parallelize(ii))                # threads within a node
+        s.execute(sched)                          # cold: placement + staging
+        r2 = s.execute(sched)                     # warm trial
+
+    assert np.array_equal(a2.vals.data, a.vals.data)
+    assert r2.simulated_seconds == result.simulated_seconds
+    print("\nHand-written schedule override: bit-identical values and metrics.")
 
 
 if __name__ == "__main__":

@@ -2,19 +2,19 @@
 
 SpMM and SDDMM are the two kernels of sparse ML workloads (paper §VI-A):
 SDDMM evaluates predictions only at observed entries, SpMM propagates
-dense features through a sparse graph.  This example runs both on a
-distributed machine, SDDMM with the paper's non-zero-based distribution
-(statically load balanced) and SpMM row-based.
+dense features through a sparse graph.  Both statements share the same
+observation graph, so they are recorded into one lazy ``Program`` and
+compiled together — the graph's partitions are derived once for the
+program, and the auto-scheduler picks each statement's canonical mapping
+(SDDMM: the paper's non-zero split, statically load balanced; SpMM:
+row-based with CPU threads).
 
 Run:  python examples/sparse_ml.py
 """
 import numpy as np
 
-from repro.bench.models import default_config
+import repro
 from repro.data.matrices import rmat
-from repro.legion import Machine, Runtime
-from repro.taco import CSR, Tensor, index_vars
-from repro.core import compile_kernel
 
 NODES = 8
 RANK = 16
@@ -22,8 +22,6 @@ RANK = 16
 
 def main():
     rng = np.random.default_rng(5)
-    cfg = default_config()
-    machine = Machine.cpu(NODES, cfg.node)
 
     # Observed interaction graph (social-network-like skew).
     G = rmat(11, edge_factor=8, seed=2)
@@ -31,45 +29,28 @@ def main():
     U = rng.random((n, RANK)) * 0.1  # user factors
     V = rng.random((RANK, n)) * 0.1  # item factors
 
-    # --- SDDMM: errors at observed entries, E(i,j) = G(i,j)*U(i,k)*V(k,j).
-    runtime = Runtime(machine, cfg.legion_network())
-    B = Tensor.from_scipy("G", G, CSR)
-    Ut = Tensor.from_dense("U", U)
-    Vt = Tensor.from_dense("V", V)
-    E = Tensor.zeros("E", G.shape, CSR)
-    i, j, k, f, fp, fo, fi = index_vars("i j k f fp fo fi")
-    E[i, j] = B[i, j] * Ut[i, k] * Vt[k, j]
-    sddmm = compile_kernel(
-        E.schedule().fuse(i, j, f).pos(f, fp, B[i, j])
-        .divide(fp, fo, fi, machine.size).distribute(fo)
-        .communicate([E, B, Ut, Vt], fo),
-        machine,
-    )
-    sddmm.execute(runtime)
-    r1 = sddmm.execute(runtime)
-    expected = G.multiply(U @ V)
-    assert np.allclose(E.to_dense(), expected.toarray())
+    with repro.session(nodes=NODES) as s:
+        B = s.tensor("G", G, repro.CSR)          # shared by both statements
+        Ut, Vt = s.tensor("U", U), s.tensor("V", V)
+        F = s.tensor("F", rng.random((n, RANK)))
+        E = s.zeros("E", G.shape, repro.CSR)     # errors at observed entries
+        H = s.zeros("H", (n, RANK))              # propagated features
+
+        i, j, k, i2, k2, j2 = repro.index_vars("i j k i2 k2 j2")
+        with s.program() as step:                # lazy: captured, not compiled
+            E[i, j] = B[i, j] * Ut[i, k] * Vt[k, j]      # SDDMM
+            H[i2, j2] = B[i2, k2] * F[k2, j2]            # SpMM
+        step.run()                               # cold: placement + staging
+        r = step.run()                           # warm trial
+        r1, r2 = r[0], r[1]
+
+    assert np.allclose(E.to_dense(), G.multiply(U @ V).toarray())
+    assert np.allclose(H.dense_array(), G @ F.dense_array())
     print(f"SDDMM  ({G.nnz:,} observed entries, rank {RANK}, {NODES} nodes): "
           f"{r1.simulated_seconds * 1e3:.2f} ms simulated "
-          f"[non-zero split, perfectly balanced]")
-
-    # --- SpMM: feature propagation, H(i,j) = G(i,k) * F(k,j).
-    runtime2 = Runtime(machine, cfg.legion_network())
-    B2 = Tensor.from_scipy("G2", G, CSR)
-    F = Tensor.from_dense("F", rng.random((n, RANK)))
-    H = Tensor.zeros("H", (n, RANK))
-    i2, k2, j2, io, ii = index_vars("i2 k2 j2 io ii")
-    H[i2, j2] = B2[i2, k2] * F[k2, j2]
-    spmm = compile_kernel(
-        H.schedule().divide(i2, io, ii, machine.size).distribute(io)
-        .communicate([H, B2, F], io).parallelize(ii),
-        machine,
-    )
-    spmm.execute(runtime2)
-    r2 = spmm.execute(runtime2)
-    assert np.allclose(H.dense_array(), G @ F.dense_array())
+          f"[auto: non-zero split, perfectly balanced]")
     print(f"SpMM   (feature propagation, k={RANK}):                   "
-          f"{r2.simulated_seconds * 1e3:.2f} ms simulated [row-based]")
+          f"{r2.simulated_seconds * 1e3:.2f} ms simulated [auto: row-based]")
 
     imb = max(
         st.load_imbalance() for st in r1.metrics.steps if st.compute_seconds

@@ -3,44 +3,23 @@
 Tensor factorizations in data analytics are the paper's motivation for
 SpTTV/SpMTTKRP (§VI-A).  This example runs the MTTKRP at the heart of one
 CP-ALS sweep over a FROSTT-like 3-tensor, for every mode, on 8 simulated
-nodes, and cross-checks against dense einsum.
+nodes, and cross-checks against dense einsum.  Each mode's update is one
+``session.execute`` over an auto-scheduled higher-order statement — the
+synthesized mapping is the paper's row-based CPU schedule.
 
 Run:  python examples/tensor_decomposition.py
 """
 import numpy as np
 
-from repro.bench.models import default_config
+import repro
 from repro.data.tensors import frostt_like
-from repro.legion import Machine, Runtime
-from repro.taco import CSF3, Tensor, index_vars
-from repro.core import compile_kernel
 
 NODES = 8
 RANK = 12
 
 
-def mttkrp_mode0(T, C, D, machine, runtime):
-    """A(i,r) = sum_{j,k} T(i,j,k) C(j,r) D(k,r), distributed row-based."""
-    Ct = Tensor.from_dense("C", C)
-    Dt = Tensor.from_dense("D", D)
-    A = Tensor.zeros("A", (T.shape[0], C.shape[1]))
-    i, j, k, r, io, ii = index_vars("i j k r io ii")
-    A[i, r] = T[i, j, k] * Ct[j, r] * Dt[k, r]
-    kernel = compile_kernel(
-        A.schedule().divide(i, io, ii, machine.size).distribute(io)
-        .communicate([A, T, Ct, Dt], io).parallelize(ii),
-        machine,
-    )
-    kernel.execute(runtime)
-    res = kernel.execute(runtime)
-    return A.dense_array().copy(), res
-
-
 def main():
     rng = np.random.default_rng(9)
-    cfg = default_config()
-    machine = Machine.cpu(NODES, cfg.node)
-
     coords, vals, shape = frostt_like((600, 450, 300), 40_000, seed=4)
     dense = np.zeros(shape)
     np.add.at(dense, tuple(coords), vals)
@@ -51,28 +30,29 @@ def main():
           f"({vals.size:,} nnz, rank {RANK}, {NODES} nodes)\n")
 
     total = 0.0
-    for mode in range(3):
-        # Rotate the tensor so the updated mode is first (CSF stores the
-        # outer mode dense) — the standard CP-ALS formulation.
-        perm = [mode] + [m for m in range(3) if m != mode]
-        T = Tensor.from_coo(
-            "T", [coords[p] for p in perm], vals,
-            tuple(shape[p] for p in perm), CSF3,
-        )
-        C = factors[perm[1]]
-        D = factors[perm[2]]
-        runtime = Runtime(machine, cfg.legion_network())
-        got, res = mttkrp_mode0(T, C, D, machine, runtime)
-        expected = np.einsum(
-            "ijk,jr,kr->ir", np.transpose(dense, perm), C, D
-        )
-        assert np.allclose(got, expected), f"mode {mode}"
-        total += res.simulated_seconds
-        print(f"  mode {mode_names[mode]}: {res.simulated_seconds * 1e3:8.2f} ms "
-              f"simulated, {res.metrics.total_comm_bytes():8,.0f} bytes "
-              "(verified)")
-        # In a real ALS we would now solve for factors[mode]; the MTTKRP
-        # dominates the cost, so we sweep without the least-squares solve.
+    with repro.session(nodes=NODES) as s:
+        for mode in range(3):
+            # Rotate the tensor so the updated mode is first (CSF stores the
+            # outer mode dense) — the standard CP-ALS formulation.
+            perm = [mode] + [m for m in range(3) if m != mode]
+            T = s.from_coo(
+                "T", [coords[p] for p in perm], vals,
+                tuple(shape[p] for p in perm), repro.CSF3,
+            )
+            C, D = factors[perm[1]], factors[perm[2]]
+            A = repro.einsum("ijk,jr,kr->ir", T, s.tensor("C", C),
+                             s.tensor("D", D), session=s, name="A")
+            res = s.last_result
+            expected = np.einsum(
+                "ijk,jr,kr->ir", np.transpose(dense, perm), C, D
+            )
+            assert np.allclose(A.dense_array(), expected), f"mode {mode}"
+            total += res.simulated_seconds
+            print(f"  mode {mode_names[mode]}: "
+                  f"{res.simulated_seconds * 1e3:8.2f} ms simulated, "
+                  f"{res.metrics.total_comm_bytes():8,.0f} bytes (verified)")
+            # In a real ALS we would now solve for factors[mode]; the MTTKRP
+            # dominates the cost, so we sweep without the least-squares solve.
 
     print(f"\nFull MTTKRP sweep: {total * 1e3:.2f} ms simulated.")
 

@@ -5,13 +5,72 @@ combining tensor index notation, a sparse format language, tensor
 distribution notation and a scheduling language, lowered through dependent
 partitioning onto a Legion-style task runtime.
 
-Public API re-exports live here; see README.md for a tour.
+The primary entry points live here (see ``docs/api.md``)::
+
+    import repro
+
+    with repro.session(nodes=4) as s:
+        B = s.tensor("B", scipy_matrix, repro.CSR)
+        c = s.tensor("c", dense_vector)
+        a = repro.einsum("ij,j->i", B, c, session=s)
+
+``repro.session`` opens the execution context (machine, runtime, caches,
+optional artifact store); ``repro.einsum`` and ``Session.define`` /
+``Program`` submit work with auto-synthesized schedules; a hand-built
+:class:`~repro.taco.schedule.Schedule` overrides the auto-scheduler
+anywhere.  The low-level surface (``repro.core.compile_kernel``,
+``repro.legion.Runtime``) remains available unchanged.
 """
 from .errors import CompileError, FormatError, OOMError, ReproError, ScheduleError
+from .taco import (
+    CSC,
+    CSF3,
+    CSR,
+    DDC,
+    DENSE_MATRIX,
+    DENSE_VECTOR,
+    SPARSE_VECTOR,
+    Format,
+    Schedule,
+    Tensor,
+    index_vars,
+)
+from .legion import Machine
+from .core import compile_kernel, compile_program
+from .api import (
+    Program,
+    Session,
+    auto_schedule,
+    einsum,
+    session,
+)
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    # high-level front end
+    "session",
+    "Session",
+    "Program",
+    "einsum",
+    "auto_schedule",
+    # building blocks
+    "Tensor",
+    "Schedule",
+    "Machine",
+    "index_vars",
+    "compile_kernel",
+    "compile_program",
+    # formats
+    "Format",
+    "CSR",
+    "CSC",
+    "CSF3",
+    "DDC",
+    "DENSE_MATRIX",
+    "DENSE_VECTOR",
+    "SPARSE_VECTOR",
+    # errors
     "CompileError",
     "FormatError",
     "OOMError",

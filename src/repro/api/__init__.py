@@ -1,0 +1,37 @@
+"""The high-level SpDISTAL front end: sessions, lazy programs, einsum.
+
+The paper keeps computation (tensor index notation), data layout (formats
++ distribution notation) and mapping (scheduling commands) independent;
+this package makes the *defaults* of each synthesizable so a statement
+runs with exactly as much ceremony as the user wants to spend:
+
+* :class:`Session` (``repro.session(...)``) — owns the machine, the
+  runtime, cache budgets and the optional artifact store; one context
+  manager instead of five imports.
+* :class:`Program` — a lazy multi-statement graph compiled together, so
+  partitions of shared operands are derived once and mapping traces span
+  the statement chain.
+* :func:`auto_schedule` — synthesizes the paper's canonical
+  divide→distribute→communicate→parallelize (or fuse→pos→divide→…)
+  mapping from the statement, formats and machine; any hand-built
+  :class:`~repro.taco.schedule.Schedule` overrides it.
+* :func:`einsum` — ``repro.einsum("ij,j->i", B, c)``, the NumPy-style
+  entry point lowering to the same pipeline.
+
+The low-level API (``compile_kernel(schedule, machine)``) keeps working
+unchanged — it is now a thin wrapper over a one-statement program.
+"""
+from .autoschedule import auto_schedule, auto_strategy
+from .einsum import einsum
+from .program import Program, Statement
+from .session import Session, session
+
+__all__ = [
+    "Session",
+    "session",
+    "Program",
+    "Statement",
+    "auto_schedule",
+    "auto_strategy",
+    "einsum",
+]

@@ -1,0 +1,158 @@
+"""NumPy-style ``einsum`` over the SpDISTAL pipeline.
+
+``repro.einsum("ij,j->i", B, c)`` builds the tensor-index-notation
+statement the subscripts describe, synthesizes the canonical distributed
+schedule for the session's machine (:mod:`repro.api.autoschedule`),
+compiles through the same kernel cache / partition memo / mapping-trace
+layers as every other statement, and executes on the session runtime.
+Operands may be packed :class:`~repro.taco.tensor.Tensor` objects, SciPy
+sparse matrices, or NumPy arrays (the latter two are packed on the fly).
+
+Supported subscripts are the product-and-reduce fragment the paper's
+kernels cover: distinct letters per operand, ``,`` between operands, an
+optional ``->`` output (defaulting to NumPy's convention — letters that
+appear exactly once, alphabetically).  Diagonals (repeated letters within
+one operand) and ellipses are outside tensor index notation and raise
+``ValueError``.
+"""
+from __future__ import annotations
+
+from functools import reduce
+from typing import Dict, List, Optional, Tuple
+
+from ..taco.expr import Access, Assignment
+from ..taco.index_vars import IndexVar
+from ..taco.schedule import Schedule
+from ..taco.tensor import Tensor
+
+__all__ = ["einsum"]
+
+_implicit_session = None
+
+
+def _default_session():
+    """The lazily created implicit session (a 1-node CPU machine), used
+    when ``einsum`` is called without ``session=``."""
+    global _implicit_session
+    if _implicit_session is None:
+        from .session import Session
+
+        _implicit_session = Session()
+    return _implicit_session
+
+
+def _parse_spec(spec: str, n_operands: int) -> Tuple[List[str], str]:
+    spec = spec.replace(" ", "")
+    if "..." in spec:
+        raise ValueError("einsum ellipses are not supported")
+    if "->" in spec:
+        lhs, _, out = spec.partition("->")
+    else:
+        lhs, out = spec, None
+    inputs = lhs.split(",")
+    if len(inputs) != n_operands:
+        raise ValueError(
+            f"einsum spec {spec!r} names {len(inputs)} operands, "
+            f"got {n_operands}"
+        )
+    seen: Dict[str, int] = {}
+    for sub in inputs:
+        if not sub.isalpha():
+            raise ValueError(f"invalid einsum subscripts {sub!r}")
+        if len(set(sub)) != len(sub):
+            raise ValueError(
+                f"repeated index in operand subscripts {sub!r} "
+                "(diagonals are not supported)"
+            )
+        for ch in sub:
+            seen[ch] = seen.get(ch, 0) + 1
+    if out is None:
+        out = "".join(sorted(ch for ch, n in seen.items() if n == 1))
+    else:
+        if out and not out.isalpha():
+            raise ValueError(f"invalid einsum output subscripts {out!r}")
+        if len(set(out)) != len(out):
+            raise ValueError("repeated index in einsum output subscripts")
+        missing = [ch for ch in out if ch not in seen]
+        if missing:
+            raise ValueError(
+                f"output subscripts {''.join(missing)!r} never appear "
+                "in an operand"
+            )
+    if not out:
+        raise ValueError(
+            "einsum full reductions (empty output) are not supported; "
+            "keep at least one output index"
+        )
+    return inputs, out
+
+
+def einsum(
+    spec: str,
+    *operands,
+    session=None,
+    out: Optional[Tensor] = None,
+    schedule: Optional[Schedule] = None,
+    name: str = "out",
+) -> Tensor:
+    """Evaluate ``spec`` over ``operands`` on the SpDISTAL pipeline.
+
+    Returns the output tensor (pass ``out=`` to write into an existing
+    one, e.g. a sparse-formatted output); the execution's metrics are
+    available as ``session.last_result``.  ``schedule=`` overrides the
+    auto-synthesized mapping with a hand-built
+    :class:`~repro.taco.schedule.Schedule`.
+    """
+    if not operands:
+        raise ValueError("einsum needs at least one operand")
+    s = session if session is not None else _default_session()
+    inputs, out_sub = _parse_spec(spec, len(operands))
+
+    tensors: List[Tensor] = [
+        s.tensor(f"op{k}", op) for k, op in enumerate(operands)
+    ]
+    ivars: Dict[str, IndexVar] = {}
+    sizes: Dict[str, int] = {}
+    for sub, t in zip(inputs, tensors):
+        if len(sub) != t.order:
+            raise ValueError(
+                f"operand {t.name} has order {t.order} but subscripts "
+                f"{sub!r} name {len(sub)} indices"
+            )
+        for ch, dim in zip(sub, t.shape):
+            if ch in sizes and sizes[ch] != dim:
+                raise ValueError(
+                    f"index {ch!r} has inconsistent extents "
+                    f"{sizes[ch]} and {dim}"
+                )
+            sizes[ch] = dim
+            ivars.setdefault(ch, IndexVar(ch))
+
+    accesses = [
+        Access(t, tuple(ivars[ch] for ch in sub))
+        for sub, t in zip(inputs, tensors)
+    ]
+    rhs = reduce(lambda a, b: a * b, accesses)
+    out_shape = tuple(sizes[ch] for ch in out_sub)
+    if out is None:
+        out = Tensor.zeros(name, out_shape)
+    elif out.shape != out_shape:
+        raise ValueError(
+            f"out tensor shape {out.shape} does not match the einsum "
+            f"output shape {out_shape}"
+        )
+    asg = Assignment(Access(out, tuple(ivars[ch] for ch in out_sub)), rhs)
+    out.assignment = asg
+    if schedule is None:
+        target = asg
+    elif isinstance(schedule, Schedule):
+        target = schedule
+    elif callable(schedule):
+        # The index variables are created inside einsum, so a hand mapping
+        # is most naturally a builder over the generated assignment:
+        #   einsum(..., schedule=lambda asg: Schedule(asg).divide(...)...)
+        target = schedule(asg)
+    else:
+        raise TypeError("schedule= must be a Schedule or a builder callable")
+    s.execute(target)
+    return out

@@ -1,0 +1,142 @@
+"""Lazy multi-statement programs over the SpDISTAL pipeline.
+
+A :class:`Program` records tensor-index-notation statements without
+compiling them, then compiles the whole set together through
+:func:`repro.core.program.compile_program` — so partitions of operands
+shared between statements are derived once, and the session runtime's
+mapping traces span the statement chain.  Statements are recorded three
+ways, all equivalent:
+
+* explicitly: ``p.define(a)`` after ``a[i] = B[i, j] * c[j]``;
+* by capture: assignments written inside ``with session.program() as p:``
+  are recorded automatically (deferred tensors — see
+  :mod:`repro.taco.capture`);
+* with an explicit mapping: ``p.define(a, schedule=hand_built_schedule)``
+  or ``stmt.use_schedule(...)`` — the fluent
+  :class:`~repro.taco.schedule.Schedule` stays available anywhere as an
+  override of the auto-scheduler.
+"""
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..core.program import CompiledProgram, ProgramResult
+from ..taco.capture import pop_recorder, push_recorder
+from ..taco.expr import Assignment
+from ..taco.schedule import Schedule
+from ..taco.tensor import Tensor
+
+__all__ = ["Program", "Statement"]
+
+
+class Statement:
+    """One recorded statement of a :class:`Program`."""
+
+    def __init__(self, program: "Program", assignment: Assignment,
+                 schedule: Optional[Schedule] = None):
+        self.program = program
+        self.assignment = assignment
+        self.explicit_schedule = schedule
+
+    def use_schedule(self, schedule: Schedule) -> "Statement":
+        """Override the auto-scheduler with a hand-built schedule."""
+        if schedule.assignment is not self.assignment:
+            raise ValueError(
+                "the schedule must be built over this statement's assignment"
+            )
+        self.explicit_schedule = schedule
+        return self
+
+    def schedule(self) -> Schedule:
+        """Start building an explicit schedule for this statement (fluent;
+        the built schedule is automatically installed as the override)."""
+        sched = Schedule(self.assignment)
+        self.explicit_schedule = sched
+        return sched
+
+    @property
+    def output(self) -> Tensor:
+        return self.assignment.lhs.tensor
+
+    def __repr__(self) -> str:  # pragma: no cover
+        how = "explicit" if self.explicit_schedule is not None else "auto"
+        return f"Statement({self.assignment!r}, schedule={how})"
+
+
+class Program:
+    """An ordered, lazily compiled list of statements bound to a session."""
+
+    def __init__(self, session):
+        self.session = session
+        self.statements: List[Statement] = []
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def define(
+        self,
+        target: Union[Assignment, Tensor, Schedule],
+        *,
+        schedule: Optional[Schedule] = None,
+    ) -> Statement:
+        """Append one statement.  ``target`` is an assignment, a tensor
+        that was just assigned, or an explicit :class:`Schedule` (which is
+        both the statement and its mapping)."""
+        if isinstance(target, Schedule):
+            stmt = Statement(self, target.assignment, target)
+        elif isinstance(target, Assignment):
+            stmt = Statement(self, target, schedule)
+        elif isinstance(target, Tensor):
+            if target.assignment is None:
+                raise ValueError(f"no statement assigned to {target.name}")
+            stmt = Statement(self, target.assignment, schedule)
+        else:
+            raise TypeError(
+                f"cannot define a statement from {type(target).__name__}"
+            )
+        self.statements.append(stmt)
+        return stmt
+
+    # -- deferred capture (``with session.program() as p:``) ---------------
+    def __enter__(self) -> "Program":
+        push_recorder(self._record)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pop_recorder(self._record)
+
+    def _record(self, assignment: Assignment) -> None:
+        self.statements.append(Statement(self, assignment))
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __getitem__(self, k: int) -> Statement:
+        return self.statements[k]
+
+    # ------------------------------------------------------------------ #
+    # compile / run
+    # ------------------------------------------------------------------ #
+    def schedules(self) -> List[Schedule]:
+        """Every statement's effective schedule (explicit override, else
+        auto-synthesized for the session's machine)."""
+        return [
+            s.explicit_schedule
+            if s.explicit_schedule is not None
+            else self.session.schedule_for(s.assignment)
+            for s in self.statements
+        ]
+
+    def compile(self, *, use_cache: bool = True) -> CompiledProgram:
+        """Compile all recorded statements together (shared operands'
+        partitions are derived once — the program-level amortization)."""
+        if not self.statements:
+            raise ValueError("the program has no statements")
+        return self.session.compile(*self.schedules(), use_cache=use_cache)
+
+    def run(self, *, fresh_trial: bool = True) -> ProgramResult:
+        """Compile (cached) and execute every statement in order on the
+        session runtime; returns the per-statement results."""
+        return self.compile().execute(
+            self.session.runtime, fresh_trial=fresh_trial
+        )

@@ -1,0 +1,300 @@
+"""The Session: one object that owns the whole SpDISTAL execution context.
+
+The low-level API asks every caller to assemble a ``Machine``, a
+``Runtime``, cache budgets and (optionally) an ``ArtifactStore`` by hand —
+five imports of ceremony per statement.  A :class:`Session` folds all of
+that behind one context manager::
+
+    import repro
+
+    with repro.session(nodes=4) as s:
+        B = s.tensor("B", scipy_matrix, repro.CSR)
+        c = s.tensor("c", dense_vector)
+        a = repro.einsum("ij,j->i", B, c, session=s)
+
+The session owns the machine (built from ``nodes=``/``gpus=`` or passed
+in), the runtime (mapping traces accumulate across every statement the
+session executes), the kernel/partition cache budgets (restored on exit),
+and an optional persistent artifact store for cross-process warm starts.
+Explicit schedules remain a per-statement *override* — anywhere the
+session accepts a statement it also accepts a hand-built
+:class:`~repro.taco.schedule.Schedule`.
+"""
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core import cache as _cache
+from ..core.compiler import CompiledKernel, ExecutionResult
+from ..core.program import CompiledProgram, ProgramResult, compile_program
+from ..core.store_index import ArtifactStore
+from ..legion.machine import Machine, NodeSpec
+from ..legion.network import Network
+from ..legion.runtime import Runtime
+from ..taco.expr import Assignment
+from ..taco.formats import Format
+from ..taco.schedule import Schedule
+from ..taco.tensor import Tensor
+from .autoschedule import auto_schedule
+
+__all__ = ["Session", "session"]
+
+Schedulable = Union[Schedule, Assignment, Tensor]
+
+
+class Session:
+    """Owns machine, runtime, cache budgets and the optional artifact store.
+
+    Usable as a context manager (``with repro.session(nodes=4) as s:``);
+    entering is cheap and exiting restores any cache budgets the session
+    changed.  All work submitted through one session executes on one
+    runtime, so mapping traces recorded by statement N replay for
+    statement N+k — the compile-once / run-many layers span the session.
+    """
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        *,
+        nodes: Optional[int] = None,
+        gpus: Optional[int] = None,
+        node: Optional[NodeSpec] = None,
+        network: Optional[Network] = None,
+        runtime: Optional[Runtime] = None,
+        store: Optional[Union[str, Path, ArtifactStore]] = None,
+        kernel_cache_bytes: Optional[int] = None,
+        partition_cache_bytes: Optional[int] = None,
+        trace_replay: Optional[bool] = None,
+        metrics_limit: Optional[int] = None,
+    ):
+        if runtime is not None:
+            # Adopt an existing runtime (e.g. one restored from the
+            # artifact store, mapping traces included); the session's
+            # machine is the runtime's, and the runtime keeps the network,
+            # trace_replay and metrics_limit it was built with — passing
+            # any of them here would be silently ignored, so it is an
+            # error, like the machine-family conflict.
+            conflicts = {
+                "machine": machine, "nodes": nodes, "gpus": gpus,
+                "node": node, "network": network,
+                "trace_replay": trace_replay, "metrics_limit": metrics_limit,
+            }
+            clashing = [k for k, v in conflicts.items() if v is not None]
+            if clashing:
+                raise ValueError(
+                    f"runtime= already carries {', '.join(clashing)}; "
+                    "pass either runtime= or those options, not both"
+                )
+            self.machine = runtime.machine
+            self.runtime = runtime
+        else:
+            if machine is not None and (nodes is not None or gpus is not None):
+                raise ValueError("pass either machine= or nodes=/gpus=, not both")
+            if machine is None:
+                spec = node if node is not None else NodeSpec()
+                if gpus is not None:
+                    machine = Machine.gpu(gpus, spec)
+                else:
+                    machine = Machine.cpu(nodes if nodes is not None else 1, spec)
+            self.machine = machine
+            self.runtime = Runtime(
+                machine, network,
+                trace_replay=True if trace_replay is None else trace_replay,
+                metrics_limit=10_000 if metrics_limit is None else metrics_limit,
+            )
+        if store is None or isinstance(store, ArtifactStore):
+            self.store: Optional[ArtifactStore] = store
+        else:
+            self.store = ArtifactStore(store)
+        self._saved_budgets: Optional[Dict[str, int]] = None
+        if kernel_cache_bytes is not None or partition_cache_bytes is not None:
+            self._saved_budgets = _cache.cache_budgets()
+            _cache.set_cache_budget(kernel_cache_bytes, partition_cache_bytes)
+        self._pending = None  # implicit Program fed by define()
+        #: The :class:`ExecutionResult` of the session's most recent
+        #: single-statement execution (``execute``/``einsum``).
+        self.last_result: Optional[ExecutionResult] = None
+
+    # ------------------------------------------------------------------ #
+    # context management
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Restore cache budgets the session changed (idempotent)."""
+        if self._saved_budgets is not None:
+            _cache.set_cache_budget(
+                self._saved_budgets["kernel_bytes"],
+                self._saved_budgets["partition_bytes"],
+            )
+            self._saved_budgets = None
+
+    # ------------------------------------------------------------------ #
+    # tensor construction sugar
+    # ------------------------------------------------------------------ #
+    def tensor(self, name: str, data, format: Optional[Format] = None) -> Tensor:
+        """Pack ``data`` into a named tensor: accepts a SciPy sparse
+        matrix or a NumPy array / array-like.  An already packed
+        :class:`Tensor` passes through unchanged (its existing name is
+        kept); asking for a *different* format than the packed one is an
+        error rather than a silent no-op — repack explicitly via
+        ``Tensor.from_coo(...)`` to convert."""
+        if isinstance(data, Tensor):
+            if format is not None and format != data.format:
+                raise ValueError(
+                    f"{data.name} is already packed as {data.format.name}; "
+                    f"it cannot pass through as {format.name} — repack it "
+                    "to convert formats"
+                )
+            return data
+        if hasattr(data, "tocoo"):  # scipy sparse
+            return Tensor.from_scipy(name, data, format)
+        return Tensor.from_dense(name, np.asarray(data), format)
+
+    def from_coo(self, name: str, coords, vals, shape,
+                 format: Optional[Format] = None) -> Tensor:
+        """Pack COO coordinates/values (see :meth:`Tensor.from_coo`)."""
+        return Tensor.from_coo(name, coords, vals, shape, format)
+
+    def zeros(self, name: str, shape: Sequence[int],
+              format: Optional[Format] = None, dtype=np.float64) -> Tensor:
+        """An output tensor (see :meth:`Tensor.zeros`)."""
+        return Tensor.zeros(name, shape, format, dtype)
+
+    # ------------------------------------------------------------------ #
+    # scheduling / compilation
+    # ------------------------------------------------------------------ #
+    def schedule_for(self, target: Schedulable, **kw) -> Schedule:
+        """The schedule the session will use for ``target``: an explicit
+        :class:`Schedule` passes through; anything else is auto-scheduled
+        for the session's machine (see :func:`repro.api.auto_schedule`)."""
+        if isinstance(target, Schedule):
+            return target
+        return auto_schedule(target, self.machine, **kw)
+
+    def compile(self, *targets: Schedulable, use_cache: bool = True
+                ) -> CompiledProgram:
+        """Compile one or more statements together as a program.
+
+        Each target is a :class:`Schedule` (explicit mapping), an
+        :class:`Assignment`, or a :class:`Tensor` carrying one (both
+        auto-scheduled).  Shared operands' partitions are derived once
+        across the program (see :func:`repro.core.program.compile_program`).
+        """
+        schedules = [self.schedule_for(t) for t in targets]
+        return compile_program(schedules, self.machine, use_cache=use_cache)
+
+    def compile_kernel(self, target: Schedulable, *, use_cache: bool = True
+                       ) -> CompiledKernel:
+        """Compile a single statement to its :class:`CompiledKernel`."""
+        return self.compile(target, use_cache=use_cache).kernels[0]
+
+    def execute(self, target, *, fresh_trial: bool = True) -> ExecutionResult:
+        """Compile (if needed) and run one statement on the session runtime.
+
+        ``target`` may be anything :meth:`compile` accepts, or an already
+        compiled :class:`CompiledKernel`.  Returns the execution result
+        (also kept as :attr:`last_result`).
+        """
+        if isinstance(target, CompiledKernel):
+            ck = target
+        else:
+            ck = self.compile_kernel(target)
+        res = ck.execute(self.runtime, fresh_trial=fresh_trial)
+        self.last_result = res
+        return res
+
+    # ------------------------------------------------------------------ #
+    # lazy programs
+    # ------------------------------------------------------------------ #
+    def program(self) -> "Program":
+        """A new lazy multi-statement :class:`~repro.api.program.Program`
+        bound to this session (usable as a ``with`` block that captures
+        assignments)."""
+        from .program import Program
+
+        return Program(self)
+
+    def define(self, target: Schedulable, *, schedule: Optional[Schedule] = None):
+        """Record a statement into the session's implicit pending program.
+
+        Returns the program :class:`~repro.api.program.Statement` handle
+        (``.use_schedule(...)`` overrides the auto-schedule).  Run the
+        accumulated statements with :meth:`run`.
+        """
+        if self._pending is None:
+            self._pending = self.program()
+        return self._pending.define(target, schedule=schedule)
+
+    def run(self, program=None, *, fresh_trial: bool = True) -> ProgramResult:
+        """Compile and execute a program (default: the statements recorded
+        by :meth:`define`, which are then cleared)."""
+        if program is None:
+            program = self._pending
+            self._pending = None
+        if program is None:
+            raise ValueError("no pending statements; call define() first")
+        return program.run(fresh_trial=fresh_trial)
+
+    # ------------------------------------------------------------------ #
+    # persistence (optional artifact store)
+    # ------------------------------------------------------------------ #
+    def _require_store(self) -> ArtifactStore:
+        if self.store is None:
+            raise ValueError(
+                "this session has no artifact store; pass store=<dir> to "
+                "repro.session(...)"
+            )
+        return self.store
+
+    def put(self, tensor: Tensor, *, keys: Sequence[str] = (), **kw) -> Path:
+        """Publish a packed tensor (plus the cache entries referencing it)
+        to the session's artifact store; see :meth:`ArtifactStore.put`."""
+        return self._require_store().put(
+            tensor, keys=keys, runtime=kw.pop("runtime", self.runtime), **kw
+        )
+
+    def load(self, key: str, **kw):
+        """Load the newest artifact for ``key`` from the session's store
+        (keywords pass through, e.g. ``mmap=True``)."""
+        return self._require_store().load(key, **kw)
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """One amortization report: compiler cache counters
+        (:func:`repro.core.cache.cache_stats`) plus the runtime's
+        mapping-trace counters (:meth:`Runtime.stats`)."""
+        out = dict(_cache.cache_stats())
+        out.update(self.runtime.stats())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Session({self.machine!r}, store="
+            f"{self.store.root if self.store else None})"
+        )
+
+
+def session(
+    machine: Optional[Machine] = None,
+    *,
+    nodes: Optional[int] = None,
+    gpus: Optional[int] = None,
+    **kw,
+) -> Session:
+    """Open a :class:`Session` — the primary entry point of the high-level
+    API.  ``repro.session(nodes=4)`` builds a 4-node CPU machine;
+    ``repro.session(gpus=8)`` a GPU machine; pass ``machine=`` for full
+    control and ``store=<dir>`` to enable the persistent artifact store.
+    Designed for ``with`` use, but valid without (``close()`` restores the
+    cache budgets a long-lived session changed)."""
+    return Session(machine, nodes=nodes, gpus=gpus, **kw)

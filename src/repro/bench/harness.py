@@ -3,7 +3,11 @@
 Each runner builds the tensors for one dataset, applies the schedule the
 paper uses for that kernel/processor kind (§VI-A), compiles, executes one
 cold trial (placement + staging) and returns the steady-state warm trial —
-matching the paper's 10-warmup / 20-trial methodology.
+matching the paper's 10-warmup / 20-trial methodology.  Execution goes
+through the high-level :class:`~repro.api.session.Session` (one per
+measured kernel), so the benchmarks exercise the same runtime-ownership
+path as the front end — warm-store operands, kernel/partition caches and
+mapping-trace replay all flow through it.
 
 Sparse operands are obtained through :func:`repro.bench.warmstore.packed_operand`:
 per-node-count trials over the same dataset reuse one packed structure
@@ -24,7 +28,6 @@ import scipy.sparse as sp
 
 from ..errors import OOMError
 from ..legion.machine import Machine
-from ..legion.runtime import Runtime
 from ..taco.formats import CSF3, CSR, DDC
 from ..taco.index_vars import IndexVar, index_vars
 from ..taco.tensor import Tensor
@@ -71,10 +74,12 @@ def _machine(cfg: BenchConfig, nodes: int, gpus: Optional[int]) -> Machine:
 
 def _run(ck: CompiledKernel, cfg: BenchConfig) -> Tuple[float, float]:
     """Cold placement trial + one warm trial; returns (seconds, comm bytes)."""
-    rt = Runtime(ck.machine, cfg.legion_network())
-    ck.execute(rt)  # cold: placement + first staging
-    res = ck.execute(rt)  # warm trial (caches invalidated per trial)
-    return res.simulated_seconds, res.metrics.total_comm_bytes()
+    from ..api.session import Session
+
+    with Session(machine=ck.machine, network=cfg.legion_network()) as s:
+        s.execute(ck)  # cold: placement + first staging
+        res = s.execute(ck)  # warm trial (caches invalidated per trial)
+        return res.simulated_seconds, res.metrics.total_comm_bytes()
 
 
 def _wrap(system: str, fn: Callable[[], Tuple[float, float, object]]) -> SimResult:

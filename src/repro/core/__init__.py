@@ -38,7 +38,9 @@ from .compiler import (
     Piece,
     classify,
     compile_kernel,
+    compile_statement,
 )
+from .program import CompiledProgram, ProgramResult, compile_program
 from .store import (
     PackedArtifact,
     load_packed,
@@ -59,7 +61,8 @@ __all__ = [
     "replicated_partition",
     "adopt_pattern", "install_assembled_output", "pattern_source", "scan_counts",
     "CompiledKernel", "ExecutionResult", "KernelClass", "Piece",
-    "classify", "compile_kernel",
+    "classify", "compile_kernel", "compile_statement",
+    "CompiledProgram", "ProgramResult", "compile_program",
     "PackedArtifact", "load_packed", "read_manifest", "save_packed",
     "stable_fingerprint",
     "ArtifactStore", "GCStats", "fingerprint_key", "gc_artifacts",

@@ -48,7 +48,10 @@ from .partitioner import (
 )
 from .plan import PartitioningPlan
 
-__all__ = ["KernelClass", "classify", "Piece", "CompiledKernel", "compile_kernel", "ExecutionResult"]
+__all__ = [
+    "KernelClass", "classify", "Piece", "CompiledKernel", "compile_kernel",
+    "compile_statement", "ExecutionResult",
+]
 
 Bounds = Tuple[int, int]
 Color = Hashable
@@ -332,8 +335,13 @@ class CompiledKernel:
     def _needs_zero(self) -> bool:
         if self.privileges.get(id(self.out)) == Privilege.REDUCE:
             return True
+        if self.kind == "generic" and not self.schedule.assignment.accumulate:
+            # The generic engine scatter-*adds* piece results into the
+            # output under every strategy (not just "nonzeros"), so a
+            # repeated execute must start from zero or it doubles.
+            return True
         return self.strategy == "nonzeros" and self.kind in (
-            "spmv", "spmm", "spttv", "spmttkrp", "generic",
+            "spmv", "spmm", "spttv", "spmttkrp",
         )
 
     # -- SpAdd: two-phase assembly (paper §V-B) --------------------------------
@@ -435,7 +443,26 @@ def compile_kernel(
     mutations miss while value-only updates hit (see
     :mod:`repro.core.cache`).  Pass ``use_cache=False`` (or disable caches
     globally) to force a fresh compile.
+
+    This entry point is a thin wrapper over a one-statement program (see
+    :func:`repro.core.program.compile_program`); multi-statement callers
+    and the high-level :mod:`repro.api` front end go through the program
+    entry directly so shared operands' partitions are derived once.
     """
+    from .program import compile_program
+
+    return compile_program([schedule], machine, use_cache=use_cache).kernels[0]
+
+
+def compile_statement(
+    schedule: Schedule,
+    machine: Optional[Machine] = None,
+    *,
+    use_cache: bool = True,
+) -> CompiledKernel:
+    """Compile one scheduled statement (the cache-aware single-statement
+    engine behind :func:`compile_kernel` and
+    :func:`repro.core.program.compile_program`)."""
     if machine is None:
         machine = Machine.cpu(1)
     if not use_cache:

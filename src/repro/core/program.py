@@ -1,0 +1,137 @@
+"""Program-level compilation: many scheduled statements, one compile entry.
+
+SpDISTAL's motivating workloads are rarely a single statement — a solver
+step is an SpMV plus vector updates, a CP-ALS sweep is three MTTKRPs, a
+graph pipeline chains SpMM into SDDMM.  Compiling those statements
+*together* lets the amortization layers work across the program instead of
+per ``compile_kernel`` call: every statement's compile goes through the
+same kernel cache and partition memo, so a tensor partitioned by one
+statement is *not* re-partitioned by the next statement that splits it the
+same way (the memo key — tensor identity, pattern version, level, kind,
+bounds — hits), and communicate plans recorded by the runtime replay
+across the whole statement sequence.
+
+:func:`compile_program` is the entry; :func:`repro.core.compiler.compile_kernel`
+is a thin wrapper over a one-statement program, and the high-level
+:mod:`repro.api` front end (``Session``/``Program``/``einsum``) lowers here.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..legion.machine import Machine
+from ..legion.runtime import Runtime
+from ..taco.schedule import Schedule
+from .compiler import CompiledKernel, ExecutionResult, compile_statement
+
+__all__ = ["CompiledProgram", "ProgramResult", "compile_program"]
+
+
+@dataclass
+class ProgramResult:
+    """The outcome of one :meth:`CompiledProgram.execute` pass."""
+
+    results: List[ExecutionResult] = field(default_factory=list)
+
+    @property
+    def outputs(self) -> List:
+        """Each statement's output tensor, in program order."""
+        return [r.output for r in self.results]
+
+    @property
+    def output(self):
+        """The last statement's output tensor (the program's result)."""
+        return self.results[-1].output if self.results else None
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated execution time across the program's statements."""
+        return sum(r.simulated_seconds for r in self.results)
+
+    def total_comm_bytes(self) -> float:
+        return sum(r.metrics.total_comm_bytes() for r in self.results)
+
+    def __getitem__(self, k: int) -> ExecutionResult:
+        return self.results[k]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class CompiledProgram:
+    """An ordered sequence of compiled kernels executed as one unit.
+
+    Statements execute in definition order on a single runtime, so a
+    statement reading a predecessor's output sees its freshly computed
+    values, and the runtime's mapping traces cover the whole chain.
+    """
+
+    def __init__(self, kernels: Sequence[CompiledKernel], machine: Machine):
+        self.kernels: List[CompiledKernel] = list(kernels)
+        self.machine = machine
+        self._runtime: Optional[Runtime] = None
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    def __getitem__(self, k: int) -> CompiledKernel:
+        return self.kernels[k]
+
+    def describe(self) -> str:
+        """The generated partitioning code of every statement, in order."""
+        chunks = []
+        for n, ck in enumerate(self.kernels):
+            chunks.append(f"// statement {n}: {ck.schedule.assignment!r}")
+            chunks.append(ck.plan.describe())
+        return "\n".join(chunks)
+
+    def _ensure_runtime(self, runtime: Optional[Runtime]) -> Runtime:
+        if runtime is not None:
+            self._runtime = runtime
+        elif self._runtime is None:
+            self._runtime = Runtime(self.machine)
+        return self._runtime
+
+    def execute(
+        self, runtime: Optional[Runtime] = None, *, fresh_trial: bool = True
+    ) -> ProgramResult:
+        """Run every statement once, in order, on one shared runtime.
+
+        ``fresh_trial`` resets staged copies to home placements once for
+        the whole program (not per statement), so intermediate results
+        staged by one statement stay resident for its consumers within the
+        same trial — matching what a fused multi-statement task graph pays.
+        """
+        rt = self._ensure_runtime(runtime)
+        if fresh_trial:
+            rt.reset_residency()
+        out = ProgramResult()
+        for ck in self.kernels:
+            out.results.append(ck.execute(rt, fresh_trial=False))
+        return out
+
+
+def compile_program(
+    schedules: Sequence[Schedule],
+    machine: Optional[Machine] = None,
+    *,
+    use_cache: bool = True,
+) -> CompiledProgram:
+    """Compile scheduled statements together into a :class:`CompiledProgram`.
+
+    Each statement compiles through the cache-aware single-statement
+    engine; because all statements share the process-wide kernel cache and
+    partition memo, operands appearing in several statements have their
+    coordinate-tree partitions derived once and replayed for every later
+    statement that splits them identically.  An empty program is an error —
+    there is nothing to compile.
+    """
+    if not schedules:
+        raise ValueError("compile_program needs at least one scheduled statement")
+    if machine is None:
+        machine = Machine.cpu(1)
+    kernels = [
+        compile_statement(s, machine, use_cache=use_cache) for s in schedules
+    ]
+    return CompiledProgram(kernels, machine)

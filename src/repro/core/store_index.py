@@ -51,6 +51,7 @@ closes (POSIX unlink semantics).
 """
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import shutil
@@ -58,6 +59,11 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
+
+try:  # POSIX advisory locks; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from ..errors import StoreError, StoreFormatError
 from .store import (
@@ -78,6 +84,7 @@ __all__ = [
 ]
 
 INDEX_NAME = "index.json"
+LOCK_NAME = "index.lock"
 INDEX_FORMAT_VERSION = 1
 ARTIFACTS_DIR = "artifacts"
 OBJECTS_DIR = "objects"
@@ -118,6 +125,37 @@ class ArtifactStore:
     @property
     def index_path(self) -> Path:
         return self.root / INDEX_NAME
+
+    @property
+    def lock_path(self) -> Path:
+        return self.root / LOCK_NAME
+
+    @contextlib.contextmanager
+    def _locked(self):
+        """Exclusive advisory lock over the index read-modify-write.
+
+        ``index.json`` updates are read → mutate → atomic-replace; two
+        writers interleaving those steps would silently drop one writer's
+        artifacts (its additions vanish from the replaced index while its
+        files remain on disk as "orphans" the next gc sweeps away).  Every
+        mutating entry point (``put``, ``gc``, ``load``'s last-used touch)
+        therefore serializes on a POSIX ``flock`` over a sidecar lock file
+        — the lock file, not ``index.json`` itself, because the atomic
+        ``os.replace`` swaps the index inode out from under a lock held on
+        it.  Reentrant within a process-level context is not needed (no
+        mutating method calls another); on platforms without ``fcntl`` the
+        lock degrades to a no-op, preserving single-writer behavior.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.lock_path, "a+b") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
 
     def _fresh_index(self) -> Dict[str, Any]:
         return {
@@ -194,7 +232,26 @@ class ArtifactStore:
         ``keys``.  If an artifact with an identical content hash already
         exists, no new artifact is created — the existing one gains the new
         keys and becomes each key's latest entry (the dedup hit).
+
+        Safe under concurrent writers: the whole read-modify-write (index
+        read, sequence allocation, artifact save, dedup, index replace)
+        holds the store's advisory file lock (see :meth:`_locked`).
         """
+        with self._locked():
+            return self._put_locked(
+                tensor, keys=keys, include_caches=include_caches,
+                runtime=runtime, **save_kw,
+            )
+
+    def _put_locked(
+        self,
+        tensor,
+        *,
+        keys: Sequence[str] = (),
+        include_caches: bool = True,
+        runtime=None,
+        **save_kw,
+    ) -> Path:
         idx = self.read_index()
         seq = idx["seq"] + 1
         aid = f"a{seq:06d}"
@@ -273,14 +330,23 @@ class ArtifactStore:
     def load(self, key: str, **load_kw) -> PackedArtifact:
         """``load_packed`` the newest artifact for ``key`` (keyword
         arguments pass through, e.g. ``mmap=True``) and mark it used."""
-        path = self.resolve(key)
-        if path is None:
-            raise StoreError(f"{self.root}: no artifact indexed under {key!r}")
-        art = load_packed(path, **load_kw)
-        idx = self.read_index()
-        aid = idx["keys"][key][-1]
-        idx["artifacts"][aid]["last_used"] = time.time()
-        self._write_index(idx)
+        # The whole resolve → read → last-used touch holds the lock: a
+        # concurrent gc could otherwise rmtree the resolved artifact while
+        # its files are being read (mapped regions opened here survive a
+        # later gc via POSIX unlink semantics — only the read window needs
+        # protecting).
+        with self._locked():
+            path = self.resolve(key)
+            if path is None:
+                raise StoreError(
+                    f"{self.root}: no artifact indexed under {key!r}"
+                )
+            art = load_packed(path, **load_kw)
+            idx = self.read_index()
+            entries = idx["keys"].get(key, ())
+            if entries and entries[-1] in idx["artifacts"]:
+                idx["artifacts"][entries[-1]]["last_used"] = time.time()
+                self._write_index(idx)
         return art
 
     def load_latest(self, schedule, machine, **load_kw) -> PackedArtifact:
@@ -321,7 +387,20 @@ class ArtifactStore:
         except the newest artifact, which is never evicted (the in-memory
         LRU rule: the entry being inserted always caches).  Orphaned
         directories and blobs are swept either way.
+
+        Holds the store's advisory file lock for the whole pass, so a
+        concurrent ``put`` can neither lose its index entry to the sweep
+        nor have its half-written artifact collected as an orphan.
         """
+        with self._locked():
+            return self._gc_locked(keep_latest=keep_latest, max_bytes=max_bytes)
+
+    def _gc_locked(
+        self,
+        *,
+        keep_latest: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> GCStats:
         idx = self.read_index()
         stats = GCStats(scanned=len(idx["artifacts"]),
                         bytes_before=self.total_bytes(idx))

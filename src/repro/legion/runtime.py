@@ -707,6 +707,21 @@ class Runtime:
     def simulated_seconds(self) -> float:
         return self.metrics.simulated_seconds(self.network)
 
+    def stats(self) -> Dict[str, int]:
+        """Mapping-trace amortization counters for this runtime.
+
+        ``trace_hits``/``trace_records`` count launch-trace replays vs
+        fresh recordings; ``traces``/``copy_traces`` are the live trace
+        counts.  :meth:`repro.api.session.Session.stats` folds these into
+        the session-wide amortization report next to the compiler caches.
+        """
+        return {
+            "trace_hits": self.trace_hits,
+            "trace_records": self.trace_records,
+            "traces": len(self._traces),
+            "copy_traces": len(self._copy_traces),
+        }
+
     def reset_metrics(self) -> ExecutionMetrics:
         out = self.metrics
         self.metrics = ExecutionMetrics()

@@ -1,0 +1,48 @@
+"""Deferred assignment capture for lazy multi-statement programs.
+
+``Tensor.__setitem__`` eagerly records the :class:`~repro.taco.expr.Assignment`
+on the tensor; a :class:`~repro.api.program.Program` additionally wants to
+*collect* every assignment written inside a ``with`` block so a whole
+multi-statement computation can be compiled together::
+
+    with session.program() as p:
+        a[i] = B[i, j] * c[j]          # captured by p
+        y[i] = B[i, j] * x[j]          # captured by p
+    p.run()
+
+This module holds the (stack of) active recorders.  Recorders are plain
+callables receiving each new :class:`Assignment`; only the innermost one
+sees it (programs nest without double-recording).  When no recorder is
+active, assignment capture is a no-op — the eager single-statement flow is
+unchanged.
+"""
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .expr import Assignment
+
+__all__ = ["push_recorder", "pop_recorder", "notify_assignment"]
+
+_recorders: List[Callable[[Assignment], None]] = []
+
+
+def push_recorder(recorder: Callable[[Assignment], None]) -> None:
+    """Make ``recorder`` the active (innermost) assignment recorder."""
+    _recorders.append(recorder)
+
+
+def pop_recorder(recorder: Callable[[Assignment], None]) -> None:
+    """Deactivate ``recorder``; it must be the innermost one."""
+    # ``==`` not ``is``: bound methods are re-created per attribute access,
+    # so a Program entering with ``self._record`` exits with an equal (not
+    # identical) object.
+    if not _recorders or _recorders[-1] != recorder:
+        raise RuntimeError("assignment recorders must pop in LIFO order")
+    _recorders.pop()
+
+
+def notify_assignment(assignment: Assignment) -> None:
+    """Deliver a freshly built assignment to the innermost recorder."""
+    if _recorders:
+        _recorders[-1](assignment)

@@ -111,6 +111,9 @@ class Schedule:
         self, i: IndexVar, outer: IndexVar, inner: IndexVar, factor: int
     ) -> "Schedule":
         """Strip-mine ``i`` into ``outer`` and ``inner`` of extent ``factor``."""
+        if factor <= 0:
+            raise ScheduleError(f"split needs a positive factor, got {factor}")
+        self._check_fresh(i, outer, inner)
         self._replace(i, [outer, inner])
         self.relations.append(SplitRel(i, outer, inner, int(factor), is_divide=False))
         return self
@@ -121,6 +124,7 @@ class Schedule:
         """Break ``i`` into ``pieces`` contiguous chunks (outer = chunk id)."""
         if pieces <= 0:
             raise ScheduleError(f"divide needs a positive piece count, got {pieces}")
+        self._check_fresh(i, outer, inner)
         self._replace(i, [outer, inner])
         self.relations.append(SplitRel(i, outer, inner, int(pieces), is_divide=True))
         return self
@@ -133,17 +137,19 @@ class Schedule:
                 f"fuse requires {i.name} directly outside {j.name}; "
                 f"loop order is {[v.name for v in self.loop_order]}"
             )
+        self._check_fresh(i, fused)
         self.loop_order[pi : pj + 1] = [fused]
         self.relations.append(FuseRel(i, j, fused))
         return self
 
     def pos(self, i: IndexVar, pos_var: IndexVar, access: Access) -> "Schedule":
         """Iterate ``i`` over the non-zero positions of ``access``'s tensor."""
-        self._replace(i, [pos_var])
         if access.tensor.format.is_all_dense():
             raise ScheduleError(
                 f"pos({i.name}) requires a sparse access, {access.tensor.name} is dense"
             )
+        self._check_fresh(i, pos_var)
+        self._replace(i, [pos_var])
         self.relations.append(PosRel(i, pos_var, access))
         return self
 
@@ -193,6 +199,49 @@ class Schedule:
     # ------------------------------------------------------------------ #
     # provenance queries (used by the distributed compiler)
     # ------------------------------------------------------------------ #
+    def _relation_vars(self) -> set:
+        """Every variable a recorded relation touches (parents and derived)."""
+        out = set()
+        for rel in self.relations:
+            if isinstance(rel, SplitRel):
+                out.update((rel.parent, rel.outer, rel.inner))
+            elif isinstance(rel, FuseRel):
+                out.update((rel.a, rel.b, rel.fused))
+            elif isinstance(rel, PosRel):
+                out.update((rel.coord_var, rel.pos_var))
+        return out
+
+    def _check_fresh(self, parent: IndexVar, *new: IndexVar) -> None:
+        """Eagerly validate derived variables at build time.
+
+        Each derived variable must be a *fresh* :class:`IndexVar`: not the
+        parent, not a current loop, not one an earlier transformation
+        already introduced or consumed, and not repeated within the call.
+        Raising a typed :class:`ScheduleError` here keeps invalid schedules
+        from failing deep inside lowering with an opaque provenance error.
+        """
+        if len({id(v) for v in new}) != len(new):
+            raise ScheduleError(
+                f"derived variables must be distinct, got "
+                f"{[v.name for v in new]}"
+            )
+        used = self._relation_vars()
+        for v in new:
+            if v is parent:
+                raise ScheduleError(
+                    f"{v.name} cannot be derived from itself"
+                )
+            if v in self.loop_order:
+                raise ScheduleError(
+                    f"{v.name} is already a loop of the scheduled statement; "
+                    "derived variables must be fresh"
+                )
+            if v in used:
+                raise ScheduleError(
+                    f"{v.name} was already used by an earlier transformation; "
+                    "derived variables must be fresh"
+                )
+
     def _position(self, v: IndexVar) -> int:
         try:
             return self.loop_order.index(v)

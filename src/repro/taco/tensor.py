@@ -247,6 +247,11 @@ class Tensor:
                 rest = expr.operands[1:]
                 expr = rest[0] if len(rest) == 1 else Add(rest)
         self.assignment = Assignment(lhs, expr, accumulate=accumulate)
+        # Lazy programs (repro.api) capture assignments written inside a
+        # ``with session.program()`` block; a no-op when none is active.
+        from .capture import notify_assignment
+
+        notify_assignment(self.assignment)
 
     def schedule(self):
         """Start scheduling the statement last assigned to this tensor."""

@@ -1,0 +1,141 @@
+"""Session: one context owning machine, runtime, budgets and the store."""
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+import repro
+from repro.core import cache as _cache
+from repro.core import clear_caches
+from repro.legion import Machine, ProcKind
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestConstruction:
+    def test_nodes_builds_cpu_machine(self):
+        with repro.session(nodes=6) as s:
+            assert s.machine.size == 6
+            assert s.machine.kind == ProcKind.CPU
+            assert s.runtime.machine is s.machine
+
+    def test_gpus_builds_gpu_machine(self):
+        with repro.session(gpus=4) as s:
+            assert s.machine.size == 4
+            assert s.machine.kind == ProcKind.GPU
+
+    def test_explicit_machine_passes_through(self):
+        m = Machine.cpu(3)
+        with repro.session(machine=m) as s:
+            assert s.machine is m
+
+    def test_machine_and_nodes_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            repro.session(machine=Machine.cpu(2), nodes=2)
+
+    def test_adopts_existing_runtime(self):
+        from repro.legion import Runtime
+
+        rt = Runtime(Machine.cpu(3))
+        with repro.session(runtime=rt) as s:
+            assert s.runtime is rt
+            assert s.machine is rt.machine
+        with pytest.raises(ValueError, match="not both"):
+            repro.session(machine=Machine.cpu(2), runtime=rt)
+        # Options the adopted runtime already carries cannot be passed
+        # alongside it — they would be silently ignored otherwise.
+        with pytest.raises(ValueError, match="trace_replay"):
+            repro.session(runtime=rt, trace_replay=False)
+        with pytest.raises(ValueError, match="metrics_limit"):
+            repro.session(runtime=rt, metrics_limit=5)
+
+    def test_default_is_one_cpu_node(self):
+        with repro.session() as s:
+            assert s.machine.size == 1
+
+    def test_cache_budgets_set_and_restored(self):
+        before = _cache.cache_budgets()
+        with repro.session(nodes=1, kernel_cache_bytes=1 << 20,
+                           partition_cache_bytes=2 << 20):
+            mid = _cache.cache_budgets()
+            assert mid["kernel_bytes"] == 1 << 20
+            assert mid["partition_bytes"] == 2 << 20
+        assert _cache.cache_budgets() == before
+
+
+class TestTensorSugar:
+    def test_tensor_dispatches_on_type(self):
+        with repro.session() as s:
+            M = sp.eye(5).tocsr()
+            B = s.tensor("B", M, repro.CSR)
+            assert B.nnz == 5 and B.format is repro.CSR
+            d = s.tensor("d", np.arange(4.0))
+            assert d.shape == (4,)
+            assert s.tensor("again", B) is B  # packed tensors pass through
+            with pytest.raises(ValueError, match="repack"):
+                s.tensor("B", B, repro.CSC)  # conflicting format: no silent no-op
+            z = s.zeros("z", (3, 3), repro.CSR)
+            assert z.nnz == 0
+
+    def test_from_coo(self):
+        with repro.session() as s:
+            t = s.from_coo("t", [np.array([0, 1]), np.array([1, 0])],
+                           np.array([2.0, 3.0]), (2, 2), repro.CSR)
+            assert t.nnz == 2
+
+
+class TestExecution:
+    def test_execute_compiles_and_runs_on_session_runtime(self):
+        with repro.session(nodes=2) as s:
+            M = sp.random(50, 50, density=0.1, format="csr",
+                          random_state=np.random.default_rng(0))
+            B = s.tensor("B", M, repro.CSR)
+            c = s.tensor("c", np.random.default_rng(1).random(50))
+            a = s.zeros("a", (50,))
+            i, j = repro.index_vars("i j")
+            a[i] = B[i, j] * c[j]
+            res = s.execute(a)
+            assert np.allclose(a.vals.data, M @ c.dense_array())
+            assert s.last_result is res
+
+    def test_traces_accumulate_across_statements(self):
+        with repro.session(nodes=2) as s:
+            M = sp.random(60, 60, density=0.1, format="csr",
+                          random_state=np.random.default_rng(2))
+            B = s.tensor("B", M, repro.CSR)
+            c = s.tensor("c", np.random.default_rng(3).random(60))
+            a = s.zeros("a", (60,))
+            i, j = repro.index_vars("i j")
+            a[i] = B[i, j] * c[j]
+            s.execute(a)
+            hits0 = s.stats()["trace_hits"]
+            s.execute(a)  # same statement: the mapping trace must replay
+            assert s.stats()["trace_hits"] > hits0
+
+    def test_stats_merges_cache_and_runtime_counters(self):
+        with repro.session() as s:
+            st = s.stats()
+            for key in ("kernel_hits", "partition_hits", "trace_hits",
+                        "trace_records"):
+                assert key in st
+
+
+class TestStore:
+    def test_store_roundtrip_through_session(self, tmp_path):
+        with repro.session(nodes=2, store=tmp_path / "store") as s:
+            M = sp.random(40, 40, density=0.1, format="csr",
+                          random_state=np.random.default_rng(4))
+            B = s.tensor("B", M, repro.CSR)
+            s.put(B, keys=["op:B"], include_caches=False)
+            art = s.load("op:B")
+            assert art.tensor.nnz == B.nnz
+            assert s.store.verify() == []
+
+    def test_no_store_is_a_clear_error(self):
+        with repro.session() as s:
+            with pytest.raises(ValueError, match="no artifact store"):
+                s.put(s.zeros("z", (2,)))

@@ -1,0 +1,121 @@
+"""Eager validation of the fluent scheduling language.
+
+Invalid index-variable references must raise a typed ``ScheduleError`` at
+schedule *build* time — not surface as an opaque provenance failure deep
+inside lowering.
+"""
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.taco import CSR, Tensor, index_vars
+
+
+def spmv():
+    rng = np.random.default_rng(0)
+    dense = rng.random((8, 8)) * (rng.random((8, 8)) < 0.4)
+    B = Tensor.from_dense("B", dense, CSR)
+    c = Tensor.from_dense("c", rng.random(8))
+    a = Tensor.zeros("a", (8,))
+    i, j = index_vars("i j")
+    a[i] = B[i, j] * c[j]
+    return a, B, c, i, j
+
+
+class TestUnknownVars:
+    def test_divide_unknown_parent(self):
+        a, B, c, i, j = spmv()
+        k, io, ii = index_vars("k io ii")
+        with pytest.raises(ScheduleError, match="not a loop"):
+            a.schedule().divide(k, io, ii, 4)
+
+    def test_distribute_unknown_var(self):
+        a, B, c, i, j = spmv()
+        (k,) = index_vars("k")
+        with pytest.raises(ScheduleError, match="not a loop"):
+            a.schedule().distribute(k)
+
+    def test_communicate_unknown_var(self):
+        a, B, c, i, j = spmv()
+        (k,) = index_vars("k")
+        with pytest.raises(ScheduleError, match="not a loop"):
+            a.schedule().communicate([a, B, c], k)
+
+
+class TestDuplicatedVars:
+    def test_divide_reuses_existing_loop_as_derived(self):
+        a, B, c, i, j = spmv()
+        (io,) = index_vars("io")
+        with pytest.raises(ScheduleError, match="already a loop"):
+            a.schedule().divide(i, io, j, 4)
+
+    def test_divide_outer_equals_inner(self):
+        a, B, c, i, j = spmv()
+        (io,) = index_vars("io")
+        with pytest.raises(ScheduleError, match="must be distinct"):
+            a.schedule().divide(i, io, io, 4)
+
+    def test_divide_derives_var_from_itself(self):
+        a, B, c, i, j = spmv()
+        (ii,) = index_vars("ii")
+        with pytest.raises(ScheduleError, match="derived from itself"):
+            a.schedule().divide(i, i, ii, 4)
+
+    def test_split_reuses_consumed_var(self):
+        a, B, c, i, j = spmv()
+        io, ii, x = index_vars("io ii x")
+        s = a.schedule().divide(i, io, ii, 4)
+        # ``i`` was consumed by the divide; deriving onto it again is a
+        # stale reference the old code only caught at lowering time.
+        with pytest.raises(ScheduleError, match="already used"):
+            s.split(ii, i, x, 2)
+
+    def test_fuse_reuses_existing_loop_as_fused(self):
+        a, B, c, i, j = spmv()
+        with pytest.raises(ScheduleError, match="derived from itself"):
+            a.schedule().fuse(i, j, i)
+        a2, B2, c2, i2, j2 = spmv()
+        with pytest.raises(ScheduleError, match="already a loop"):
+            a2.schedule().fuse(i2, j2, j2)
+
+    def test_pos_reuses_existing_loop(self):
+        a, B, c, i, j = spmv()
+        f, fp = index_vars("f fp")
+        s = a.schedule().fuse(i, j, f)
+        with pytest.raises(ScheduleError, match="already used"):
+            s.pos(f, i, B[i, j])
+
+
+class TestFactorValidation:
+    def test_split_nonpositive_factor(self):
+        a, B, c, i, j = spmv()
+        io, ii = index_vars("io ii")
+        with pytest.raises(ScheduleError, match="positive factor"):
+            a.schedule().split(i, io, ii, 0)
+
+    def test_divide_nonpositive_pieces(self):
+        a, B, c, i, j = spmv()
+        io, ii = index_vars("io ii")
+        with pytest.raises(ScheduleError, match="positive piece count"):
+            a.schedule().divide(i, io, ii, -1)
+
+
+class TestValidSchedulesStillBuild:
+    def test_canonical_chains_unaffected(self):
+        a, B, c, i, j = spmv()
+        io, ii = index_vars("io ii")
+        s = (a.schedule().divide(i, io, ii, 4).distribute(io)
+             .communicate([a, B, c], io).parallelize(ii))
+        assert s.pieces_of(io) == 4
+
+        a2, B2, c2, i2, j2 = spmv()
+        f, fp, fo, fi = index_vars("f fp fo fi")
+        s2 = (a2.schedule().fuse(i2, j2, f).pos(f, fp, B2[i2, j2])
+              .divide(fp, fo, fi, 4).distribute(fo))
+        assert s2.is_position_var(fo)
+
+    def test_rederiving_from_derived_vars_is_legal(self):
+        a, B, c, i, j = spmv()
+        io, ii, io2, io3 = index_vars("io ii io2 io3")
+        s = a.schedule().divide(i, io, ii, 4).split(io, io2, io3, 2)
+        assert io2 in s.loop_order and io3 in s.loop_order
