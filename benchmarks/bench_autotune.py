@@ -1,0 +1,91 @@
+"""Autotune benchmark: the tuner vs the paper's hand-written schedules.
+
+``Session.autotune`` claims the distribution strategy is a *data- and
+machine-dependent scheduling choice* the system can make itself (ROADMAP
+follow-on of the Session front end; paper Figs. 10-12 motivate it).  This
+scenario measures that claim on the figure workloads:
+
+* the tuned steady trial matches or beats the best hand-written strategy
+  (within 5% — in practice they are bit-identical when the tuner picks
+  the same mapping, and strictly better when it finds the 2-D grid);
+* the tuner agrees with the paper's schedules where the cost model does
+  (CPU → rows, skewed GPU SpMM → non-zeros), and finds ``grid`` on the
+  striped square-grid workload neither hand-written family wins;
+* a *second* autotune of the same statement family answers from the
+  decision table with zero search trials (the compile-once / run-many
+  discipline applied to the search itself).
+
+``tools/bench_check.py --scenario autotune`` gates the same contracts and
+records ``BENCH_autotune_<timestamp>.json`` baselines.
+"""
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bench.harness import spdistal_autotuned, spdistal_spmm
+from repro.bench.models import default_config
+from repro.core import clear_caches
+from repro.data.matrices import striped
+
+HERE = Path(__file__).resolve().parent
+
+
+@pytest.mark.benchmark(group="autotune")
+def test_autotune_matches_or_beats_hand_schedules(benchmark):
+    clear_caches()
+    cfg = default_config(rate_scale=1.0, dataset_scale=0.2)
+    rng = np.random.default_rng(3)
+    M = striped(2000, 30_000, heavy_frac=0.9, seed=9)
+    args = (M, rng.random((M.shape[1], 32)))
+
+    hand = {}
+    for strategy in ("rows", "nonzeros"):
+        clear_caches()
+        hand[strategy] = spdistal_spmm(*args, 4, cfg, strategy=strategy).seconds
+
+    def tuned_run():
+        clear_caches()
+        return spdistal_autotuned("spmm", args, 4, cfg)
+
+    tuned = benchmark.pedantic(tuned_run, rounds=1, iterations=1)
+    best_hand = min(hand.values())
+    benchmark.extra_info["tuned_strategy"] = tuned.strategy
+    benchmark.extra_info["tuned_sim_s"] = tuned.seconds
+    benchmark.extra_info["best_hand_sim_s"] = best_hand
+    benchmark.extra_info["margin"] = round(best_hand / tuned.seconds, 4)
+
+    # The tuner must match or beat the best hand-written schedule (5%).
+    assert tuned.ok
+    assert tuned.seconds <= best_hand * 1.05
+    # On the striped workload the 2-D grid is the win neither hand-written
+    # family gets.
+    assert tuned.strategy == "grid"
+
+
+@pytest.mark.benchmark(group="autotune")
+def test_second_autotune_is_zero_trials(benchmark):
+    clear_caches()
+    M = striped(1500, 20_000, heavy_frac=0.9, seed=2)
+    rng = np.random.default_rng(4)
+    C = rng.random((M.shape[1], 16))
+
+    with repro.session(nodes=4) as s:
+        B = s.tensor("B", M, repro.CSR)
+        Ct = s.tensor("C", C)
+        out = s.zeros("A", (M.shape[0], 16))
+        i, k, j = repro.index_vars("i k j")
+        out[i, j] = B[i, k] * Ct[k, j]
+        first = s.autotune(out, trials=2)
+        assert not first.from_cache and first.trials_run > 0
+
+        def replay():
+            return s.autotune(out)
+
+        second = benchmark.pedantic(replay, rounds=1, iterations=1)
+        assert second.from_cache and second.trials_run == 0
+        assert second.strategy == first.strategy
+        benchmark.extra_info["winner"] = first.strategy
+        benchmark.extra_info["search_trials_first"] = first.trials_run
+    clear_caches()

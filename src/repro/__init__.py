@@ -38,6 +38,7 @@ from .taco import (
 from .legion import Machine
 from .core import compile_kernel, compile_program
 from .api import (
+    AutotuneResult,
     Program,
     Session,
     auto_schedule,
@@ -54,6 +55,7 @@ __all__ = [
     "Program",
     "einsum",
     "auto_schedule",
+    "AutotuneResult",
     # building blocks
     "Tensor",
     "Schedule",

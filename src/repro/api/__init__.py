@@ -21,10 +21,10 @@ runs with exactly as much ceremony as the user wants to spend:
 The low-level API (``compile_kernel(schedule, machine)``) keeps working
 unchanged — it is now a thin wrapper over a one-statement program.
 """
-from .autoschedule import auto_schedule, auto_strategy
+from .autoschedule import auto_schedule, auto_strategy, candidate_strategies
 from .einsum import einsum
 from .program import Program, Statement
-from .session import Session, session
+from .session import AutotuneCandidate, AutotuneResult, Session, session
 
 __all__ = [
     "Session",
@@ -33,5 +33,8 @@ __all__ = [
     "Statement",
     "auto_schedule",
     "auto_strategy",
+    "candidate_strategies",
     "einsum",
+    "AutotuneCandidate",
+    "AutotuneResult",
 ]

@@ -33,7 +33,8 @@ simulated metrics match (``tests/api/test_autoschedule.py`` asserts it).
 """
 from __future__ import annotations
 
-from typing import List, Optional, Union
+import math
+from typing import List, Optional, Tuple, Union
 
 from ..core.compiler import classify
 from ..errors import ScheduleError
@@ -43,10 +44,14 @@ from ..taco.index_vars import IndexVar
 from ..taco.schedule import CPUThread, GPUThread, ParallelUnit, Schedule
 from ..taco.tensor import Tensor
 
-__all__ = ["auto_schedule", "auto_strategy"]
+__all__ = ["auto_schedule", "auto_strategy", "candidate_strategies"]
 
 #: Kernel kinds that non-zero-distribute on GPU machines (paper §VI-A).
 _GPU_NONZERO_KINDS = frozenset({"spmm", "sddmm", "spttv", "spmttkrp"})
+#: Kernel kinds the 2-D ``grid`` strategy applies to: the output's first
+#: two dimensions are divided over a square processor grid.  SpMM is the
+#: paper's case — rows of B × columns of C tile naturally.
+_GRID_KINDS = frozenset({"spmm"})
 
 
 def _as_assignment(target: Union[Assignment, Tensor]) -> Assignment:
@@ -86,6 +91,48 @@ def auto_strategy(asg: Assignment, machine: Machine) -> str:
     return "rows"
 
 
+def _square_grid(machine: Machine, pieces: Optional[int]) -> Optional[Tuple[int, int]]:
+    """The ``(gx, gy)`` factors of the 2-D grid strategy, or None.
+
+    A machine declared as a 2-D grid keeps its declared factors; a 1-D
+    machine (or an explicit ``pieces=``) must be a perfect square — the
+    paper's square node grids.
+    """
+    if pieces is None and machine.grid.ndim == 2:
+        return machine.grid.dims[0], machine.grid.dims[1]
+    n = int(pieces) if pieces is not None else machine.size
+    g = math.isqrt(n)
+    return (g, g) if g * g == n and g >= 1 else None
+
+
+def candidate_strategies(
+    asg: Assignment, machine: Machine, *, pieces: Optional[int] = None
+) -> List[str]:
+    """The ordered strategy pool ``Session.autotune`` searches.
+
+    The paper's default for this kind/machine comes first — the tuner keeps
+    the incumbent on ties, so when two mappings are indistinguishable under
+    the cost model the canonical hand-written choice survives.  The
+    alternatives follow: the other of rows/non-zeros when buildable, and
+    the 2-D ``grid`` for SpMM on square machine grids.
+    """
+    default = auto_strategy(asg, machine)
+    kc = classify(asg)
+    out = [default]
+    if kc.kind != "spadd":
+        if default != "nonzeros" and _sparse_access(asg, kc.roles) is not None:
+            out.append("nonzeros")
+        if default != "rows":
+            out.append("rows")
+    if (
+        kc.kind in _GRID_KINDS
+        and machine.size > 1
+        and _square_grid(machine, pieces) is not None
+    ):
+        out.append("grid")
+    return out
+
+
 def auto_schedule(
     target: Union[Assignment, Tensor],
     machine: Optional[Machine] = None,
@@ -111,11 +158,25 @@ def auto_schedule(
     explicit = strategy is not None
     if strategy is None:
         strategy = auto_strategy(asg, machine)
-    if strategy not in ("rows", "nonzeros"):
+    if strategy not in ("rows", "nonzeros", "grid"):
         raise ScheduleError(
             f"unknown auto-schedule strategy {strategy!r} "
-            "(expected 'rows' or 'nonzeros')"
+            "(expected 'rows', 'nonzeros' or 'grid')"
         )
+    if strategy == "grid":
+        kind = classify(asg).kind
+        if kind not in _GRID_KINDS:
+            raise ScheduleError(
+                f"strategy='grid' applies to {sorted(_GRID_KINDS)} "
+                f"statements; this one classifies as {kind!r}"
+            )
+        dims = _square_grid(machine, pieces)
+        if dims is None:
+            raise ScheduleError(
+                f"strategy='grid' needs a square piece count; "
+                f"{npieces} pieces cannot form a 2-D grid"
+            )
+        return _grid_schedule(sched, asg, machine, *dims)
     if strategy == "nonzeros":
         split = _sparse_access(asg, classify(asg).roles)
         if split is None:
@@ -150,6 +211,35 @@ def _rows_schedule(
     sched.divide(d, outer, inner, npieces).distribute(outer)
     sched.communicate(asg.tensors(), outer)
     sched.parallelize(inner, _parallel_unit(machine))
+    return sched
+
+
+def _grid_schedule(
+    sched: Schedule, asg: Assignment, machine: Machine, gx: int, gy: int
+) -> Schedule:
+    """divide × divide → distribute over a 2-D processor grid.
+
+    The output's first dimension (rows of the sparse operand) is divided
+    into ``gx`` pieces and its second (the dense right-hand columns) into
+    ``gy``; the cross product of piece loops is distributed, so each
+    processor owns one (row-chunk × column-chunk) tile.  Compared to the
+    1-D row split, this halves (at a 2×2 grid) both the widest piece's
+    compute and the dense operand volume each piece keeps resident — the
+    shape that wins when row skew concentrates non-zeros in few chunks.
+    """
+    li = asg.lhs.indices
+    if len(li) < 2:
+        raise ScheduleError(
+            "strategy='grid' needs a 2-D output to tile; "
+            f"{asg.lhs.tensor.name} has {len(li)} index variable(s)"
+        )
+    i, j = li[0], li[1]
+    io, ii = IndexVar(f"{i.name}o"), IndexVar(f"{i.name}i")
+    jo, ji = IndexVar(f"{j.name}o"), IndexVar(f"{j.name}i")
+    sched.divide(i, io, ii, gx).divide(j, jo, ji, gy)
+    sched.distribute([io, jo])
+    sched.communicate(asg.tensors(), io)
+    sched.parallelize(ii, _parallel_unit(machine))
     return sched
 
 

@@ -93,6 +93,8 @@ def einsum(
     session=None,
     out: Optional[Tensor] = None,
     schedule: Optional[Schedule] = None,
+    autotune: bool = False,
+    trials: int = 2,
     name: str = "out",
 ) -> Tensor:
     """Evaluate ``spec`` over ``operands`` on the SpDISTAL pipeline.
@@ -102,9 +104,18 @@ def einsum(
     available as ``session.last_result``.  ``schedule=`` overrides the
     auto-synthesized mapping with a hand-built
     :class:`~repro.taco.schedule.Schedule`.
+
+    ``autotune=True`` searches the schedule-family candidates through
+    :meth:`~repro.api.session.Session.autotune` (``trials`` timed trials
+    per candidate) before executing — the first call pays the search, and
+    the recorded decision makes every later ``einsum`` of the same
+    statement family (this process or a warm-started one) synthesize the
+    winning strategy directly.
     """
     if not operands:
         raise ValueError("einsum needs at least one operand")
+    if autotune and schedule is not None:
+        raise ValueError("pass either autotune=True or schedule=, not both")
     s = session if session is not None else _default_session()
     inputs, out_sub = _parse_spec(spec, len(operands))
 
@@ -143,6 +154,11 @@ def einsum(
         )
     asg = Assignment(Access(out, tuple(ivars[ch] for ch in out_sub)), rhs)
     out.assignment = asg
+    if autotune:
+        # warm=False: the execute below runs (and trace-records) the
+        # winner on the session runtime anyway — a warm-up pass here
+        # would launch the statement twice per call.
+        s.autotune(asg, trials=trials, warm=False)
     if schedule is None:
         target = asg
     elif isinstance(schedule, Schedule):

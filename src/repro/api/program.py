@@ -127,12 +127,15 @@ class Program:
             for s in self.statements
         ]
 
-    def compile(self, *, use_cache: bool = True) -> CompiledProgram:
+    def compile(self, *, use_cache: bool = True, cse: bool = True) -> CompiledProgram:
         """Compile all recorded statements together (shared operands'
-        partitions are derived once — the program-level amortization)."""
+        partitions are derived once, repeated identical statements collapse
+        to one execution — the program-level amortizations)."""
         if not self.statements:
             raise ValueError("the program has no statements")
-        return self.session.compile(*self.schedules(), use_cache=use_cache)
+        return self.session.compile(
+            *self.schedules(), use_cache=use_cache, cse=cse
+        )
 
     def run(self, *, fresh_trial: bool = True) -> ProgramResult:
         """Compile (cached) and execute every statement in order on the

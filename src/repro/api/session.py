@@ -22,8 +22,9 @@ session accepts a statement it also accepts a hand-built
 """
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -31,6 +32,7 @@ from ..core import cache as _cache
 from ..core.compiler import CompiledKernel, ExecutionResult
 from ..core.program import CompiledProgram, ProgramResult, compile_program
 from ..core.store_index import ArtifactStore
+from ..errors import OOMError, ScheduleError
 from ..legion.machine import Machine, NodeSpec
 from ..legion.network import Network
 from ..legion.runtime import Runtime
@@ -38,11 +40,53 @@ from ..taco.expr import Assignment
 from ..taco.formats import Format
 from ..taco.schedule import Schedule
 from ..taco.tensor import Tensor
-from .autoschedule import auto_schedule
+from .autoschedule import _as_assignment, auto_schedule, candidate_strategies
 
-__all__ = ["Session", "session"]
+__all__ = ["Session", "session", "AutotuneCandidate", "AutotuneResult"]
 
 Schedulable = Union[Schedule, Assignment, Tensor]
+
+
+@dataclass
+class AutotuneCandidate:
+    """One strategy's timed trials inside a :meth:`Session.autotune` search."""
+
+    strategy: str
+    simulated_seconds: float
+    comm_bytes: float = 0.0
+    oom: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.oom and np.isfinite(self.simulated_seconds)
+
+
+@dataclass
+class AutotuneResult:
+    """The outcome of one :meth:`Session.autotune` call.
+
+    ``strategy`` names the winning schedule family, ``kernel`` is its
+    compiled form (also held by the kernel cache), ``candidates`` lists
+    every strategy tried with its trial cost (empty when the decision table
+    answered), ``trials_run`` counts timed trials actually executed (zero
+    on a decision-table or warm-start hit), and ``from_cache`` says whether
+    the search was skipped.
+    """
+
+    strategy: str
+    kernel: CompiledKernel
+    decision_key: Optional[str]
+    candidates: List[AutotuneCandidate] = field(default_factory=list)
+    trials_run: int = 0
+    from_cache: bool = False
+
+    @property
+    def simulated_seconds(self) -> float:
+        """The winner's best trial time (NaN on a from-cache replay)."""
+        for c in self.candidates:
+            if c.strategy == self.strategy:
+                return c.simulated_seconds
+        return float("nan")
 
 
 class Session:
@@ -133,6 +177,7 @@ class Session:
             _cache.set_cache_budget(
                 self._saved_budgets["kernel_bytes"],
                 self._saved_budgets["partition_bytes"],
+                self._saved_budgets.get("decision_bytes"),
             )
             self._saved_budgets = None
 
@@ -174,22 +219,60 @@ class Session:
     def schedule_for(self, target: Schedulable, **kw) -> Schedule:
         """The schedule the session will use for ``target``: an explicit
         :class:`Schedule` passes through; anything else is auto-scheduled
-        for the session's machine (see :func:`repro.api.auto_schedule`)."""
+        for the session's machine (see :func:`repro.api.auto_schedule`).
+
+        When the decision table holds an :meth:`autotune` winner for the
+        statement's family (same statement shape, tensor pattern stats and
+        machine signature), that strategy is synthesized instead of the
+        paper's static default — tuned sessions, warm-started processes and
+        ``einsum`` all replay the tuned choice with zero search trials.
+        """
         if isinstance(target, Schedule):
             return target
+        if "strategy" not in kw:
+            decision = self._lookup_decision(_as_assignment(target))
+            if decision is not None:
+                try:
+                    return auto_schedule(
+                        target, self.machine,
+                        strategy=decision["strategy"], **kw,
+                    )
+                except ScheduleError:
+                    # The recorded winner cannot be built under these
+                    # options (e.g. a tuned 'grid' with a non-square
+                    # pieces= override): a tuned session must never turn
+                    # a previously valid call into an error — fall back
+                    # to the static default synthesis.
+                    pass
         return auto_schedule(target, self.machine, **kw)
 
-    def compile(self, *targets: Schedulable, use_cache: bool = True
-                ) -> CompiledProgram:
+    def _decision_key(self, asg: Assignment) -> Optional[str]:
+        try:
+            return _cache.decision_fingerprint(asg, self.machine)
+        except _cache.Unfingerprintable:
+            return None
+
+    def _lookup_decision(self, asg: Assignment) -> Optional[Dict]:
+        if not _cache.has_decisions():
+            return None  # untuned process: skip the fingerprint walk
+        key = self._decision_key(asg)
+        return _cache.lookup_decision(key) if key is not None else None
+
+    def compile(self, *targets: Schedulable, use_cache: bool = True,
+                cse: bool = True) -> CompiledProgram:
         """Compile one or more statements together as a program.
 
         Each target is a :class:`Schedule` (explicit mapping), an
         :class:`Assignment`, or a :class:`Tensor` carrying one (both
         auto-scheduled).  Shared operands' partitions are derived once
-        across the program (see :func:`repro.core.program.compile_program`).
+        across the program, and with ``cse`` (default) identical repeated
+        statements execute once per pass (see
+        :func:`repro.core.program.compile_program`).
         """
         schedules = [self.schedule_for(t) for t in targets]
-        return compile_program(schedules, self.machine, use_cache=use_cache)
+        return compile_program(
+            schedules, self.machine, use_cache=use_cache, cse=cse
+        )
 
     def compile_kernel(self, target: Schedulable, *, use_cache: bool = True
                        ) -> CompiledKernel:
@@ -210,6 +293,172 @@ class Session:
         res = ck.execute(self.runtime, fresh_trial=fresh_trial)
         self.last_result = res
         return res
+
+    # ------------------------------------------------------------------ #
+    # autotuning
+    # ------------------------------------------------------------------ #
+    def autotune(
+        self,
+        target,
+        *,
+        strategies: Optional[Sequence[str]] = None,
+        trials: int = 2,
+        force: bool = False,
+        warm: bool = True,
+    ):
+        """Search the schedule-family space for ``target`` and keep the winner.
+
+        ``target`` is an :class:`~repro.taco.expr.Assignment`, a tensor
+        carrying one, or a :class:`~repro.api.program.Program` (each
+        auto-scheduled statement is tuned in order; a list of results comes
+        back).  Every candidate strategy — the paper's default for the
+        statement's kind/machine, the alternative of rows/non-zeros, and
+        the 2-D ``grid`` split for SpMM on square machine grids — is
+        compiled through the kernel cache and timed for ``trials``
+        isolated trials on a scratch runtime (:meth:`~repro.legion.runtime.Runtime.fresh_trial`: one
+        cold placement pass records the mapping trace, the timed trials
+        replay it), under the simulator's deterministic cost model.  Ties
+        keep the paper's default.
+
+        The winner's :class:`CompiledKernel` stays in the kernel cache, and
+        the decision is recorded in the decision table under the statement
+        family's stable fingerprint — later :meth:`execute`/``einsum``
+        calls synthesize the winning strategy directly, and an
+        ``ArtifactStore`` warm start replays it in a fresh process with
+        **zero** search trials (``force=True`` re-searches anyway).
+        ``strategies=`` restricts the pool for a one-off *measurement*:
+        the constrained search bypasses (and never writes) the decision
+        table, so it cannot become family policy.  With ``warm`` (default)
+        the winner executes once on the *session* runtime — searched or
+        answered from the table — so its mapping trace is recorded (or
+        replayed) where subsequent executions use it; the result lands in
+        :attr:`last_result`.
+        """
+        from .program import Program
+
+        if isinstance(target, Program):
+            return [
+                self.autotune(
+                    stmt.assignment, strategies=strategies, trials=trials,
+                    force=force, warm=warm,
+                )
+                for stmt in target.statements
+                if stmt.explicit_schedule is None
+            ]
+        asg = _as_assignment(target)
+        key = self._decision_key(asg)
+        # An explicit strategies= pool is a one-off measurement: it
+        # neither answers from the decision table (the recorded winner
+        # may be a strategy the caller excluded) nor writes to it.
+        if not force and strategies is None and key is not None:
+            decision = _cache.lookup_decision(key)
+            if decision is not None:
+                sched = auto_schedule(
+                    asg, self.machine, strategy=decision["strategy"]
+                )
+                ck = compile_program([sched], self.machine).kernels[0]
+                if warm:
+                    # The warm contract holds on the cached path too: the
+                    # winner runs once on the session runtime (replaying
+                    # its stored trace when one was persisted) and the
+                    # result lands in last_result.
+                    self.last_result = ck.execute(self.runtime)
+                return AutotuneResult(
+                    strategy=decision["strategy"],
+                    kernel=ck,
+                    decision_key=key,
+                    trials_run=0,
+                    from_cache=True,
+                )
+
+        if trials < 1:
+            raise ValueError(f"autotune needs at least one trial, got {trials}")
+        pool = (
+            list(strategies)
+            if strategies is not None
+            else candidate_strategies(asg, self.machine)
+        )
+        if not pool:
+            raise ValueError("autotune needs at least one candidate strategy")
+        candidates: List[AutotuneCandidate] = []
+        kernels: Dict[str, CompiledKernel] = {}
+        best: Optional[AutotuneCandidate] = None
+        trials_run = 0
+        for strategy in pool:
+            try:
+                sched = auto_schedule(asg, self.machine, strategy=strategy)
+                ck = compile_program([sched], self.machine).kernels[0]
+            except ScheduleError:
+                # An inapplicable candidate (e.g. 'nonzeros' with no single
+                # compressed operand) just drops out of the pool.
+                continue
+            # Candidate isolation: a scratch runtime per strategy, priced
+            # under the session's network model.  Placements and traces of
+            # one candidate never touch the session runtime or each other.
+            rt = Runtime(self.machine, self.runtime.network)
+            try:
+                ck.execute(rt)  # cold: placement + staging + trace record
+                seconds = []
+                comm = 0.0
+                for _ in range(trials):
+                    with rt.fresh_trial() as trial:
+                        ck.execute(rt, fresh_trial=False)
+                    seconds.append(trial.simulated_seconds)
+                    comm = trial.comm_bytes
+                    trials_run += 1
+                cand = AutotuneCandidate(strategy, min(seconds), comm)
+            except OOMError:
+                cand = AutotuneCandidate(strategy, float("inf"), oom=True)
+            candidates.append(cand)
+            kernels[strategy] = ck
+            # Strict improvement only: a tie keeps the earlier candidate,
+            # and the pool lists the paper's default first.
+            if cand.ok and (
+                best is None or cand.simulated_seconds < best.simulated_seconds
+            ):
+                best = cand
+        if best is None:
+            raise OOMError(
+                0, float("inf"), 0.0,
+                what="autotune: every candidate strategy OOMed",
+            )
+        # Detach the throwaway trial runtimes: the candidates stay compiled
+        # (kernel cache), but a scratch runtime pinned on a kernel would be
+        # persisted by save_packed — and a warm-started process would adopt
+        # the wrong runtime's (empty) traces instead of the session's.
+        for ck in kernels.values():
+            ck._runtime = None
+        winner = kernels[best.strategy]
+        # A restricted pool measures, it does not set family policy: only
+        # a full-candidate search records into the decision table, so a
+        # one-off ``strategies=['nonzeros']`` probe can neither overwrite
+        # nor seed what later executes (and warm-started processes) replay.
+        record = key is not None and strategies is None
+        if record:
+            _cache.store_decision(key, {
+                "strategy": best.strategy,
+                "kind": winner.kind,
+                "pieces": len(winner.pieces),
+                "simulated_seconds": best.simulated_seconds,
+                "trials": int(trials),
+                "candidates": {
+                    c.strategy: ("oom" if c.oom else c.simulated_seconds)
+                    for c in candidates
+                },
+            })
+        result = AutotuneResult(
+            strategy=best.strategy,
+            kernel=winner,
+            decision_key=key,
+            candidates=candidates,
+            trials_run=trials_run,
+            from_cache=False,
+        )
+        if warm:
+            # Record the winner's mapping trace on the session runtime so
+            # the next execute replays instead of re-analyzing.
+            self.last_result = winner.execute(self.runtime)
+        return result
 
     # ------------------------------------------------------------------ #
     # lazy programs

@@ -25,6 +25,15 @@ runtime-side mapping-trace replay lives in
   reuse the partitions; re-packing (a structural change) bumps the version
   and the stale entries simply never hit again.
 
+* **Decision table** — :meth:`repro.api.session.Session.autotune` records
+  which schedule family won for a statement under
+  :func:`decision_fingerprint` — a *stable* digest of the bare statement
+  structure, each tensor's pattern stats (shape, format, dtype, nnz, row
+  skew bucket — not its exact pattern) and the machine signature.  Later
+  auto-scheduled compiles of the same statement family replay the winning
+  strategy without a search, and because the keys carry no process-local
+  ids the table persists verbatim through :mod:`repro.core.store`.
+
 Invalidation
 ------------
 Keys embed ``Tensor.pattern_version``; a pattern bump self-invalidates all
@@ -55,9 +64,12 @@ behavior.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 from collections import OrderedDict
 from dataclasses import astuple
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from ..legion.index_space import ArraySubset
 from ..taco.expr import Access, Add, Assignment, Literal, Mul
@@ -71,8 +83,12 @@ __all__ = [
     "store_partition",
     "partition_cache_key",
     "dense_partition_cache_key",
+    "decision_fingerprint",
+    "lookup_decision",
+    "store_decision",
     "iter_kernel_entries",
     "iter_partition_entries",
+    "iter_decision_entries",
     "invalidate_tensor",
     "clear_caches",
     "cache_stats",
@@ -89,10 +105,13 @@ MiB = 1024 * 1024
 #: irregular colors), plan statements and compiled-kernel scaffolding.
 _KERNEL_CACHE_BUDGET = 64 * MiB
 _PARTITION_CACHE_BUDGET = 128 * MiB
+#: Autotune decisions are a few hundred bytes each; 1 MiB holds thousands.
+_DECISION_CACHE_BUDGET = 1 * MiB
 #: Entry-count backstops so a flood of tiny entries cannot balloon the
 #: key/bookkeeping overhead past the byte accounting.
 _KERNEL_CACHE_MAX_ENTRIES = 512
 _PARTITION_CACHE_MAX_ENTRIES = 4096
+_DECISION_CACHE_MAX_ENTRIES = 4096
 
 _enabled = True
 
@@ -172,6 +191,7 @@ class _SizedLRU:
 
 _kernel_cache = _SizedLRU(_KERNEL_CACHE_BUDGET, _KERNEL_CACHE_MAX_ENTRIES)
 _partition_cache = _SizedLRU(_PARTITION_CACHE_BUDGET, _PARTITION_CACHE_MAX_ENTRIES)
+_decision_cache = _SizedLRU(_DECISION_CACHE_BUDGET, _DECISION_CACHE_MAX_ENTRIES)
 
 
 # --------------------------------------------------------------------------- #
@@ -243,9 +263,11 @@ def caches_disabled():
 
 
 def set_cache_budget(
-    kernel_bytes: Optional[int] = None, partition_bytes: Optional[int] = None
+    kernel_bytes: Optional[int] = None,
+    partition_bytes: Optional[int] = None,
+    decision_bytes: Optional[int] = None,
 ) -> None:
-    """Set the byte budgets of the kernel / partition caches.
+    """Set the byte budgets of the kernel / partition / decision caches.
 
     Shrinking a budget evicts LRU entries immediately.  Pass ``None`` to
     leave a budget unchanged.  See ``docs/caching.md`` for tuning guidance.
@@ -254,12 +276,15 @@ def set_cache_budget(
         _kernel_cache.resize(kernel_bytes)
     if partition_bytes is not None:
         _partition_cache.resize(partition_bytes)
+    if decision_bytes is not None:
+        _decision_cache.resize(decision_bytes)
 
 
 def cache_budgets() -> Dict[str, int]:
     return {
         "kernel_bytes": _kernel_cache.budget_bytes,
         "partition_bytes": _partition_cache.budget_bytes,
+        "decision_bytes": _decision_cache.budget_bytes,
     }
 
 
@@ -494,6 +519,96 @@ def iter_partition_entries() -> Iterator[Tuple[Tuple, Any, Tuple]]:
 
 
 # --------------------------------------------------------------------------- #
+# autotune decision table
+# --------------------------------------------------------------------------- #
+def _pattern_stats(t) -> Tuple:
+    """Structural statistics of one tensor for the decision key.
+
+    Distribution choice depends on the tensor *family*, not its exact
+    non-zero pattern: the same statement over a re-packed matrix with the
+    same shape, density and row skew should replay the tuned decision
+    without a new search.  So the key deliberately excludes
+    ``pattern_version`` and hashes coarse stats instead: shape, format,
+    dtype, non-zero count, and a log2 *skew bucket* of the heaviest
+    compressed segment relative to the mean (the statistic that separates
+    rows-balanced from non-zeros-balanced mappings in the paper's Figs.
+    10-12).
+    """
+    base = (tuple(t.shape), _format_signature(t.format), t.dtype.str, int(t.nnz))
+    skew_bucket = 0
+    for lvl in getattr(t, "levels", ()):
+        if getattr(lvl, "pos", None) is None:
+            continue
+        seg = lvl.counts()  # children per parent; rect pos is inclusive
+        total = int(seg.sum())
+        if len(seg) and total > 0:
+            ratio = float(seg.max()) * len(seg) / total
+            skew_bucket = int(np.ceil(np.log2(max(ratio, 1.0))))
+        break
+    return base + (skew_bucket,)
+
+
+def decision_fingerprint(assignment: Assignment, machine) -> str:
+    """The stable (process-independent) key of one autotune decision.
+
+    Canonicalizes the *bare statement* (no scheduling relations — the
+    decision is precisely about which schedule family to synthesize), the
+    per-tensor pattern stats of :func:`_pattern_stats` in canonical order,
+    and the structural machine signature, then digests the result.  Two
+    processes tuning the same statement shape over equal-stat tensors on
+    equivalent machines agree on the key, which is what lets
+    :mod:`repro.core.store` warm-start the table.  Raises
+    :class:`Unfingerprintable` for expression content outside the canonical
+    forms (callers then skip the table).
+    """
+    canon = _Canon()
+    stmt = (
+        "=",
+        canon.expr(assignment.lhs),
+        canon.expr(assignment.rhs),
+        assignment.accumulate,
+    )
+    stats = tuple(_pattern_stats(t) for t in canon.tensors)
+    blob = repr((stmt, stats, _machine_signature(machine))).encode()
+    return "dt:" + hashlib.sha256(blob).hexdigest()
+
+
+def has_decisions() -> bool:
+    """True when the decision table holds any entry at all.
+
+    The cheap pre-check for the auto-schedule hot path: computing a
+    decision fingerprint walks each sparse tensor's ``pos`` array, which
+    an iterative solver loop should not pay per statement when nothing
+    was ever tuned (the common case).
+    """
+    return _enabled and len(_decision_cache) > 0
+
+
+def lookup_decision(key: str) -> Optional[Dict[str, Any]]:
+    """The recorded autotune decision for ``key``, or None."""
+    if not _enabled:
+        return None
+    return _decision_cache.get(key)
+
+
+def store_decision(key: str, decision: Dict[str, Any]) -> None:
+    """Record one autotune decision (a small JSON-able dict; at least a
+    ``"strategy"`` entry).  Sized into the decision table's byte budget."""
+    if not _enabled:
+        return
+    nbytes = len(key) + len(repr(decision)) + 64
+    _decision_cache.put(key, dict(decision), nbytes)
+
+
+def iter_decision_entries() -> Iterator[Tuple[str, Dict[str, Any]]]:
+    """Yield every live decision as ``(key, decision)`` (LRU order).  Keys
+    are process-independent digests, so :mod:`repro.core.store` persists
+    entries verbatim — no re-keying on load."""
+    for key, decision in _decision_cache.items():
+        yield key, dict(decision)
+
+
+# --------------------------------------------------------------------------- #
 # invalidation hooks
 # --------------------------------------------------------------------------- #
 def invalidate_tensor(tensor) -> int:
@@ -510,9 +625,10 @@ def invalidate_tensor(tensor) -> int:
 
 
 def clear_caches() -> None:
-    """Drop all kernel and partition cache entries (e.g. between tests)."""
+    """Drop all kernel, partition and decision entries (e.g. between tests)."""
     _kernel_cache.clear()
     _partition_cache.clear()
+    _decision_cache.clear()
 
 
 def cache_stats() -> Dict[str, int]:
@@ -527,4 +643,9 @@ def cache_stats() -> Dict[str, int]:
         "partition_misses": _partition_cache.misses,
         "partition_bytes": _partition_cache.total_bytes,
         "partition_evictions": _partition_cache.evictions,
+        "decision_entries": len(_decision_cache),
+        "decision_hits": _decision_cache.hits,
+        "decision_misses": _decision_cache.misses,
+        "decision_bytes": _decision_cache.total_bytes,
+        "decision_evictions": _decision_cache.evictions,
     }

@@ -150,6 +150,10 @@ class ExecutionResult:
     metrics: ExecutionMetrics
     simulated_seconds: float
     plan: PartitioningPlan
+    #: True when program-level common-subexpression reuse satisfied this
+    #: statement from an earlier identical one in the same pass (no launch
+    #: ran; the output already holds the values).
+    reused: bool = False
 
 
 class CompiledKernel:
@@ -643,9 +647,12 @@ def _compile_universe(schedule, machine, kc, plan, sizes, dvars) -> CompiledKern
                   var_bounds=var_bounds, rows=rows, cols=cols)
         )
     plan.emit("launch", f"distributed for io in {{0 ... {len(colors)}}} {{ ... }}")
+    # A multi-variable universe distribution is the 2-D (or N-D) grid
+    # mapping — reported as its own strategy so callers (autotune, the
+    # store manifest) can tell the tile shape apart from the 1-D row split.
     return CompiledKernel(
-        schedule, machine, kc.kind, "rows", pieces, parts, privileges, plan,
-        kc.roles, kc.operands,
+        schedule, machine, kc.kind, "grid" if multi else "rows", pieces,
+        parts, privileges, plan, kc.roles, kc.operands,
     )
 
 

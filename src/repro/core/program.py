@@ -21,8 +21,10 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..legion.machine import Machine
+from ..legion.metrics import ExecutionMetrics
 from ..legion.runtime import Runtime
 from ..taco.schedule import Schedule
+from . import cache as _cache
 from .compiler import CompiledKernel, ExecutionResult, compile_statement
 
 __all__ = ["CompiledProgram", "ProgramResult", "compile_program"]
@@ -49,6 +51,11 @@ class ProgramResult:
         """Total simulated execution time across the program's statements."""
         return sum(r.simulated_seconds for r in self.results)
 
+    @property
+    def reused(self) -> int:
+        """Statements satisfied by common-subexpression reuse this pass."""
+        return sum(1 for r in self.results if r.reused)
+
     def total_comm_bytes(self) -> float:
         return sum(r.metrics.total_comm_bytes() for r in self.results)
 
@@ -67,9 +74,20 @@ class CompiledProgram:
     values, and the runtime's mapping traces cover the whole chain.
     """
 
-    def __init__(self, kernels: Sequence[CompiledKernel], machine: Machine):
+    def __init__(
+        self,
+        kernels: Sequence[CompiledKernel],
+        machine: Machine,
+        reused_from: Optional[Sequence[Optional[int]]] = None,
+    ):
         self.kernels: List[CompiledKernel] = list(kernels)
         self.machine = machine
+        #: Per statement, the index of the earlier identical statement whose
+        #: execution satisfies it (common-subexpression reuse), or None.
+        self.reused_from: List[Optional[int]] = (
+            list(reused_from) if reused_from is not None
+            else [None] * len(self.kernels)
+        )
         self._runtime: Optional[Runtime] = None
 
     def __len__(self) -> int:
@@ -107,9 +125,65 @@ class CompiledProgram:
         if fresh_trial:
             rt.reset_residency()
         out = ProgramResult()
-        for ck in self.kernels:
+        for n, ck in enumerate(self.kernels):
+            prior = self.reused_from[n]
+            if prior is not None:
+                # Common-subexpression reuse: an identical earlier statement
+                # already ran this pass and nothing wrote its operands since,
+                # so the output tensor holds exactly these values — no
+                # launch, no simulated cost.
+                out.results.append(ExecutionResult(
+                    output=ck.out,
+                    metrics=ExecutionMetrics(),
+                    simulated_seconds=0.0,
+                    plan=ck.plan,
+                    reused=True,
+                ))
+                continue
             out.results.append(ck.execute(rt, fresh_trial=False))
         return out
+
+
+def _cse_reuse_map(
+    schedules: Sequence[Schedule], machine: Machine
+) -> List[Optional[int]]:
+    """Which statements an earlier identical statement satisfies.
+
+    Two statements are common subexpressions when their kernel fingerprints
+    coincide — same canonical statement *and* schedule over the same tensor
+    identities, pattern versions and machine — and no statement in between
+    writes any tensor the earlier one touched.  Accumulating statements
+    (``+=`` changes the output per execution) and assembled outputs (SpAdd
+    rebuilds its pattern; the fingerprint deliberately ignores the LHS
+    version) are never reused.  Reuse indices always point at the root
+    occurrence, which is the one that executes.
+    """
+    reuse: List[Optional[int]] = [None] * len(schedules)
+    live: dict = {}  # fingerprint -> index of the executing occurrence
+    for n, sched in enumerate(schedules):
+        asg = sched.assignment
+        try:
+            fp = _cache.kernel_fingerprint(sched, machine)
+        except _cache.Unfingerprintable:
+            fp = None
+        eligible = (
+            fp is not None
+            and not asg.accumulate
+            and not _cache.is_assembled_output(asg)
+        )
+        if eligible and fp in live:
+            reuse[n] = live[fp]
+        # This statement writes its LHS: any recorded subexpression reading
+        # (or writing) that tensor is stale for statements after n — except
+        # the one n itself repeats, whose values n reproduces bit-for-bit.
+        written = asg.lhs.tensor
+        for f in [f for f, m in live.items() if f != fp and any(
+            t is written for t in schedules[m].assignment.tensors()
+        )]:
+            del live[f]
+        if eligible and fp not in live:
+            live[fp] = n
+    return reuse
 
 
 def compile_program(
@@ -117,6 +191,7 @@ def compile_program(
     machine: Optional[Machine] = None,
     *,
     use_cache: bool = True,
+    cse: bool = True,
 ) -> CompiledProgram:
     """Compile scheduled statements together into a :class:`CompiledProgram`.
 
@@ -124,8 +199,12 @@ def compile_program(
     engine; because all statements share the process-wide kernel cache and
     partition memo, operands appearing in several statements have their
     coordinate-tree partitions derived once and replayed for every later
-    statement that splits them identically.  An empty program is an error —
-    there is nothing to compile.
+    statement that splits them identically.  With ``cse`` (the default)
+    *identical* repeated statements additionally collapse: they compile to
+    the same :class:`CompiledKernel` (the cache guarantees that part) and
+    only the first occurrence executes per pass — later occurrences are
+    satisfied from it (see :func:`_cse_reuse_map` for the safety rules).
+    An empty program is an error — there is nothing to compile.
     """
     if not schedules:
         raise ValueError("compile_program needs at least one scheduled statement")
@@ -134,4 +213,8 @@ def compile_program(
     kernels = [
         compile_statement(s, machine, use_cache=use_cache) for s in schedules
     ]
-    return CompiledProgram(kernels, machine)
+    reused_from = (
+        _cse_reuse_map(schedules, machine) if cse and len(schedules) > 1
+        else None
+    )
+    return CompiledProgram(kernels, machine, reused_from)

@@ -298,12 +298,21 @@ def save_packed(
                 max_region_uid = max(max_region_uid, region.uid)
                 max_ispace_uid = max(max_ispace_uid, region.ispace.uid)
 
+    # Autotune decisions travel whole: keys are process-independent digests
+    # (no tensor ids to re-anchor) and entries are a few hundred bytes, so
+    # filtering by tensor would buy nothing and could strand a decision
+    # whose statement family the loading process re-creates.
+    decision_entries: List[Tuple[str, Dict[str, Any]]] = []
+    if include_caches:
+        decision_entries = list(_cache.iter_decision_entries())
+
     payload = {
         "format_version": STORE_FORMAT_VERSION,
         "tensor": tensor,
         "companions": [t for t in tensor_set if t is not tensor],
         "kernels": kernel_entries,
         "partitions": partition_entries,
+        "decisions": decision_entries,
         "runtimes": runtimes,
         "max_region_uid": max_region_uid,
         "max_ispace_uid": max_ispace_uid,
@@ -381,6 +390,7 @@ def save_packed(
         "kernels": kernels_meta,
         "regions": regions_meta,
         "partition_entries": len(partition_entries),
+        "decision_entries": len(decision_entries),
         "runtimes": len(runtimes),
         "trace_count": sum(
             len(rt._traces) + len(rt._copy_traces) for rt in runtimes
@@ -554,6 +564,8 @@ def load_packed(
 
     kernels = []
     if restore_caches and _cache.caches_enabled():
+        for key, decision in payload.get("decisions", ()):
+            _cache.store_decision(key, decision)
         for owner, key_tail, part, stmts in payload.get("partitions", ()):
             _cache.store_partition((id(owner),) + tuple(key_tail), part, stmts)
         for kernel, tensors in payload.get("kernels", ()):

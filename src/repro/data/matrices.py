@@ -30,6 +30,7 @@ __all__ = [
     "stencil_kkt",
     "mycielskian",
     "uniform_random",
+    "striped",
 ]
 
 
@@ -148,6 +149,49 @@ def mycielskian(k: int, *, seed: int = 0) -> sp.csr_matrix:
     m = sp.csr_matrix(m)
     m.data = 0.1 + rng.random(m.nnz)
     return sp.csr_matrix((m + m.T) / 2.0)  # keep the adjacency symmetric
+
+
+def striped(
+    n: int,
+    nnz_target: int,
+    *,
+    heavy_frac: float = 0.9,
+    stripes: int = 4,
+    seed: int = 0,
+) -> sp.csr_matrix:
+    """Alternating heavy/light row stripes (coupled multi-field systems).
+
+    ``heavy_frac`` of the non-zeros land in the even-numbered of ``stripes``
+    contiguous row bands, the rest in the odd ones — the structure of
+    systems interleaving a dense-coupled field with a sparse one.  The
+    shape is the 2-D-grid stress case for distribution choice: contiguous
+    1-D row chunks at stripe granularity are badly imbalanced, yet
+    half-space row chunks are perfectly balanced, so a square processor
+    grid (divide rows × divide columns) beats both the 1-D row split and
+    the non-zero split (which pays its segment-reduction overhead without
+    an imbalance to fix at the coarser granularity).
+    """
+    rng = np.random.default_rng(seed)
+    band = max(1, n // stripes)
+    heavy = int(nnz_target * heavy_frac)
+    light = nnz_target - heavy
+    rows_list = []
+    heavy_bands = [b for b in range(stripes) if b % 2 == 0]
+    light_bands = [b for b in range(stripes) if b % 2 == 1]
+    for bands, count in ((heavy_bands, heavy), (light_bands, light)):
+        if not bands or count <= 0:
+            continue
+        per = np.full(len(bands), count // len(bands))
+        per[: count - per.sum()] += 1
+        for b, c in zip(bands, per):
+            lo, hi = b * band, n if b == stripes - 1 else (b + 1) * band
+            rows_list.append(rng.integers(lo, hi, int(c)))
+    rows = np.concatenate(rows_list) if rows_list else np.empty(0, dtype=np.int64)
+    cols = rng.integers(0, n, rows.size)
+    vals = rng.random(rows.size) + 0.1
+    m = sp.coo_matrix((vals, (rows, cols)), shape=(n, n))
+    m.sum_duplicates()
+    return m.tocsr()
 
 
 def uniform_random(n: int, density: float, *, seed: int = 0) -> sp.csr_matrix:

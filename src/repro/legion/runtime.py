@@ -56,6 +56,7 @@ from its first launch.
 """
 from __future__ import annotations
 
+import contextlib
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
@@ -78,7 +79,7 @@ from .network import Network
 from .partition import Partition
 from .region import Region
 
-__all__ = ["Privilege", "RegionReq", "Runtime", "MappingTrace"]
+__all__ = ["Privilege", "RegionReq", "Runtime", "MappingTrace", "TrialMetrics"]
 
 Color = Hashable
 
@@ -195,6 +196,31 @@ class _CopyTrace:
     post_state: Tuple
     #: ``(region, subset)`` — pins the subset whose ``id`` the key embeds.
     pinned: Tuple = ()
+
+
+@dataclass
+class TrialMetrics:
+    """The metrics slice of one :meth:`Runtime.fresh_trial` block.
+
+    ``metrics`` holds exactly the steps launched inside the block (filled
+    in when the block exits); :attr:`simulated_seconds` prices them under
+    the runtime's own network model.
+    """
+
+    runtime: "Runtime"
+    metrics: Optional[ExecutionMetrics] = None
+
+    @property
+    def simulated_seconds(self) -> float:
+        if self.metrics is None:
+            raise RuntimeError("the fresh_trial block has not exited yet")
+        return self.metrics.simulated_seconds(self.runtime.network)
+
+    @property
+    def comm_bytes(self) -> float:
+        if self.metrics is None:
+            raise RuntimeError("the fresh_trial block has not exited yet")
+        return self.metrics.total_comm_bytes()
 
 
 class Runtime:
@@ -689,6 +715,27 @@ class Runtime:
         return self.metrics.fold_oldest(
             len(self.metrics.steps) - keep, self.network
         )
+
+    @contextlib.contextmanager
+    def fresh_trial(self):
+        """One isolated timed trial over this runtime.
+
+        Residency returns to the canonical "homes only" state on entry
+        (recorded traces are kept — :meth:`reset_residency` — so repeat
+        trials replay), and the :class:`TrialMetrics` yielded exposes
+        exactly the steps the body launched once the block exits.  This is
+        the per-candidate isolation ``Session.autotune`` times strategies
+        with: every trial of every candidate starts from the same residency
+        state and is charged only its own launches, so candidate costs are
+        comparable and deterministic.
+        """
+        self.reset_residency()
+        start = len(self.metrics.steps)
+        trial = TrialMetrics(runtime=self)
+        try:
+            yield trial
+        finally:
+            trial.metrics = ExecutionMetrics(steps=list(self.metrics.steps[start:]))
 
     def invalidate_caches(self) -> None:
         """Reset residency to home placements AND drop all mapping traces.

@@ -124,6 +124,7 @@ class Schedule:
         """Break ``i`` into ``pieces`` contiguous chunks (outer = chunk id)."""
         if pieces <= 0:
             raise ScheduleError(f"divide needs a positive piece count, got {pieces}")
+        self._check_not_redivided(i)
         self._check_fresh(i, outer, inner)
         self._replace(i, [outer, inner])
         self.relations.append(SplitRel(i, outer, inner, int(pieces), is_divide=True))
@@ -211,15 +212,43 @@ class Schedule:
                 out.update((rel.coord_var, rel.pos_var))
         return out
 
+    def _check_not_redivided(self, parent: IndexVar) -> None:
+        """Reject a second ``divide`` over an already-divided dimension.
+
+        ``divide`` fixes the *piece geometry* of the original dimensions the
+        parent ranges over; a second divide of the same variable — or of any
+        variable *derived* from an already-divided one — would give one
+        original dimension two piece counts, which the distributed compiler
+        cannot realize (and which ``pieces_of`` would resolve arbitrarily).
+        Tiling an already-divided loop is still legal via ``split``.  This
+        must hold eagerly so 2-D grid synthesis (two divides over *distinct*
+        dimensions) can trust its own preconditions.
+        """
+        unders = set(self.underlying_vars(parent))
+        for rel in self.relations:
+            if isinstance(rel, SplitRel) and rel.is_divide:
+                clash = unders & set(self.underlying_vars(rel.outer))
+                if clash:
+                    names = ", ".join(sorted(v.name for v in clash))
+                    raise ScheduleError(
+                        f"divide({parent.name}) would divide {names} a "
+                        f"second time ({rel.parent.name} was already divided "
+                        f"into {rel.factor} pieces); each original variable "
+                        "can be divided once — use split to tile within a "
+                        "piece"
+                    )
+
     def _check_fresh(self, parent: IndexVar, *new: IndexVar) -> None:
         """Eagerly validate derived variables at build time.
 
-        Each derived variable must be a *fresh* :class:`IndexVar`: not the
+        The parent must be a *current loop* of the schedule, and each
+        derived variable must be a *fresh* :class:`IndexVar`: not the
         parent, not a current loop, not one an earlier transformation
         already introduced or consumed, and not repeated within the call.
         Raising a typed :class:`ScheduleError` here keeps invalid schedules
         from failing deep inside lowering with an opaque provenance error.
         """
+        self._position(parent)  # the parent must still be a live loop
         if len({id(v) for v in new}) != len(new):
             raise ScheduleError(
                 f"derived variables must be distinct, got "

@@ -132,3 +132,71 @@ class TestCaptureAndChaining:
                 s.program().compile()
             with pytest.raises(ValueError, match="no pending"):
                 s.run()
+
+
+class TestCommonSubexpressionReuse:
+    """Repeated identical statements compile, partition AND execute once
+    per pass — the program-level common-subexpression reuse."""
+
+    def test_duplicate_statement_executes_once(self):
+        with repro.session(nodes=4) as s:
+            M, B, c, x, a, y = _workload(s)
+            i, j = repro.index_vars("i j")
+            a[i] = B[i, j] * c[j]
+            prog = s.compile(a, a.assignment)
+            # one CompiledKernel, shared (the kernel cache guarantees it)
+            assert prog[0] is prog[1]
+            assert prog.reused_from == [None, 0]
+            res = prog.execute(s.runtime)
+            assert len(res) == 2
+            assert res[1].reused and not res[0].reused
+            assert res.reused == 1
+            assert res[1].simulated_seconds == 0.0
+            assert res.simulated_seconds == res[0].simulated_seconds
+            assert np.allclose(a.vals.data, M @ c.dense_array())
+
+    def test_interleaved_write_blocks_reuse(self):
+        """A statement that rewrites an operand between two occurrences
+        makes the repeat a *different* value — it must re-execute."""
+        with repro.session(nodes=4) as s:
+            M, B, c, x, a, y = _workload(s)
+            i, j, i2, j2 = repro.index_vars("i j i2 j2")
+            a[i] = B[i, j] * c[j]
+            first = a.assignment
+            # c is rewritten from y's statement output shape — build a
+            # statement writing c itself
+            c2 = s.zeros("c2", c.shape)
+            i3, j3 = repro.index_vars("i3 j3")
+            c[i3] = B[i3, j3] * x[j3]  # writes c between the two a-statements
+            middle = c.assignment
+            prog = s.compile(first, middle, first)
+            assert prog.reused_from == [None, None, None]
+            res = prog.execute(s.runtime)
+            assert res.reused == 0
+            # the repeat saw the updated c
+            assert np.allclose(a.vals.data, M @ (M @ x.dense_array()))
+
+    def test_accumulate_never_reuses(self):
+        from repro.taco.expr import Assignment
+
+        with repro.session(nodes=2) as s:
+            M, B, c, x, a, y = _workload(s, n=100)
+            i, j = repro.index_vars("i j")
+            a[i] = B[i, j] * c[j]
+            acc = Assignment(a.assignment.lhs, a.assignment.rhs, accumulate=True)
+            prog = s.compile(acc, acc)
+            # ``+=`` changes the output on every execution — never skipped.
+            assert prog.reused_from == [None, None]
+            res = prog.execute(s.runtime)
+            assert res.reused == 0
+            assert all(r.simulated_seconds > 0.0 for r in res.results)
+
+    def test_cse_disabled_executes_everything(self):
+        with repro.session(nodes=2) as s:
+            M, B, c, x, a, y = _workload(s, n=100)
+            i, j = repro.index_vars("i j")
+            a[i] = B[i, j] * c[j]
+            prog = s.compile(a, a.assignment, cse=False)
+            res = prog.execute(s.runtime)
+            assert res.reused == 0
+            assert res[1].simulated_seconds > 0.0

@@ -100,6 +100,65 @@ class TestFactorValidation:
             a.schedule().divide(i, io, ii, -1)
 
 
+class TestDoubleDivide:
+    """A second ``divide`` over an already-divided dimension must fail at
+    build time: two piece counts for one original dimension cannot be
+    realized by the distributed compiler, and grid synthesis (two divides
+    over *distinct* dimensions) relies on this precondition."""
+
+    def test_divide_same_parent_twice(self):
+        a, B, c, i, j = spmv()
+        io, ii, x, y = index_vars("io ii x y")
+        s = a.schedule().divide(i, io, ii, 4)
+        with pytest.raises(ScheduleError, match="second time"):
+            s.divide(i, x, y, 2)
+
+    def test_divide_derived_inner_of_divided_var(self):
+        a, B, c, i, j = spmv()
+        io, ii, x, y = index_vars("io ii x y")
+        s = a.schedule().divide(i, io, ii, 4)
+        # ``ii`` derives from the divided ``i`` — dividing it again would
+        # give ``i`` two piece geometries.
+        with pytest.raises(ScheduleError, match="second time"):
+            s.divide(ii, x, y, 2)
+
+    def test_divide_split_descendant_of_divided_var(self):
+        a, B, c, i, j = spmv()
+        io, ii, t0, t1, x, y = index_vars("io ii t0 t1 x y")
+        s = a.schedule().divide(i, io, ii, 4).split(ii, t0, t1, 2)
+        with pytest.raises(ScheduleError, match="second time"):
+            s.divide(t1, x, y, 2)
+
+    def test_divide_fused_var_overlapping_divided_dim(self):
+        # fuse(i, j) then divide covers both i and j; dividing the derived
+        # inner again would re-divide them underneath.
+        a, B, c, i, j = spmv()
+        f, fo, fi, x, y = index_vars("f fo fi x y")
+        s = a.schedule().fuse(i, j, f).divide(f, fo, fi, 4)
+        with pytest.raises(ScheduleError, match="second time"):
+            s.divide(fi, x, y, 2)
+
+    def test_two_divides_of_distinct_dims_are_legal(self):
+        """The 2-D grid shape: divide two *different* original variables."""
+        rng = np.random.default_rng(1)
+        dense = rng.random((8, 6)) * (rng.random((8, 6)) < 0.5)
+        B = Tensor.from_dense("B", dense, CSR)
+        C = Tensor.from_dense("C", rng.random((6, 4)))
+        out = Tensor.zeros("A", (8, 4))
+        i, k, j = index_vars("i k j")
+        out[i, j] = B[i, k] * C[k, j]
+        io, ii, jo, ji = index_vars("io ii jo ji")
+        s = (out.schedule().divide(i, io, ii, 2).divide(j, jo, ji, 2)
+             .distribute([io, jo]))
+        assert s.pieces_of(io) == 2 and s.pieces_of(jo) == 2
+
+    def test_split_of_divided_var_stays_legal(self):
+        a, B, c, i, j = spmv()
+        io, ii, io2, io3 = index_vars("io ii io2 io3")
+        s = a.schedule().divide(i, io, ii, 4).split(ii, io2, io3, 2)
+        assert io2 in s.loop_order and io3 in s.loop_order
+
+
 class TestValidSchedulesStillBuild:
     def test_canonical_chains_unaffected(self):
         a, B, c, i, j = spmv()
