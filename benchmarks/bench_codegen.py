@@ -1,0 +1,49 @@
+"""Codegen-backend benchmark: fused generated leaves vs interpreter leaves.
+
+The scenario (see :mod:`repro.bench.codegenbench`) times a full leaf sweep
+of the iterative-SpMV kernel under both backends and checks the codegen
+contract:
+
+* steady-state leaf execution with generated kernels is >= 2x faster than
+  the interpreter leaves (the acceptance bar),
+* output values and simulated Legion metrics are bit-identical either way
+  (codegen changes how leaves compute, never what the schedule does), and
+* a warm start through the artifact store re-seeds the generated module
+  with zero lowering work.
+
+Each run appends a ``BENCH_codegen_<timestamp>.json`` next to this file;
+``tools/bench_check.py --scenario codegen`` compares a fresh run against
+the latest one and fails on >20% regression of the leaf speedup.
+"""
+from pathlib import Path
+
+import pytest
+
+from repro.bench.codegenbench import run_codegen_bench, write_codegen_report
+from repro.core import clear_caches
+
+HERE = Path(__file__).resolve().parent
+
+
+@pytest.mark.benchmark(group="codegen")
+def test_codegen_leaf_speedup(benchmark):
+    clear_caches()
+    result = benchmark.pedantic(run_codegen_bench, rounds=1, iterations=1)
+    benchmark.extra_info["leaf_speedup"] = round(result.leaf_speedup, 2)
+    benchmark.extra_info["interp_leaf_ms"] = round(result.interp_leaf_s * 1e3, 4)
+    benchmark.extra_info["codegen_leaf_ms"] = round(result.codegen_leaf_s * 1e3, 4)
+    path = write_codegen_report(result, HERE)
+    benchmark.extra_info["report"] = str(path)
+
+    # the contracts hold regardless of any baseline
+    assert result.values_bit_identical
+    assert result.metrics_bit_identical
+    assert result.warm_start_zero_lowering, (
+        f"warm start did lowering work: {result.warm_stats}"
+    )
+    # the acceptance bar: generated leaves >= 2x over interpreter leaves
+    assert result.leaf_speedup >= 2.0, (
+        f"leaf speedup {result.leaf_speedup:.2f}x < 2x "
+        f"(interp {result.interp_leaf_s * 1e3:.3f} ms/sweep, "
+        f"codegen {result.codegen_leaf_s * 1e3:.3f} ms/sweep)"
+    )

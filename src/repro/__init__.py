@@ -37,6 +37,7 @@ from .taco import (
 )
 from .legion import Machine
 from .core import compile_kernel, compile_program
+from .codegen import codegen_backend, codegen_stats, set_codegen_backend
 from .api import (
     AutotuneResult,
     Program,
@@ -63,6 +64,10 @@ __all__ = [
     "index_vars",
     "compile_kernel",
     "compile_program",
+    # codegen backend knobs
+    "set_codegen_backend",
+    "codegen_backend",
+    "codegen_stats",
     # formats
     "Format",
     "CSR",

@@ -1,0 +1,203 @@
+"""Codegen leaf benchmark: fused generated kernels vs interpreter leaves.
+
+The AOT codegen backend (:mod:`repro.codegen`) exists for one reason: the
+interpreter's leaf functions re-walk piece metadata, closure chains and
+index scaffolding on every call, while a generated module hoists all of it
+to bind time and leaves a flat ``{color: thunk}`` table on the hot path.
+This scenario measures exactly that — the steady-state cost of executing
+every leaf piece of the iterative-SpMV kernel — under three contracts
+checked unconditionally:
+
+* **values** and **simulated metrics** must be bit-identical between
+  backends (codegen changes how leaves compute, never what the schedule
+  does);
+* a **warm start** through the :class:`~repro.core.store_index.ArtifactStore`
+  must re-seed the generated module with *zero* lowering work (the
+  ``lowered`` counter stays 0 — source ships in the artifact);
+* the gated statistic is ``leaf_speedup = interp_leaf_s / codegen_leaf_s``,
+  with an acceptance floor of 2x enforced by ``benchmarks/bench_codegen.py``
+  and regression-gated by ``tools/bench_check.py --scenario codegen``.
+
+Timing isolates the leaf calls themselves (``leaf(piece)`` over all
+pieces), not compilation or runtime staging, because that is the only part
+codegen claims to accelerate.  The SpMV ``rows`` strategy is used so leaves
+are idempotent (pure overwrite, no accumulation) and can be re-executed
+arbitrarily many times.
+"""
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..codegen import codegen_stats, reset_codegen_stats
+from ..core import clear_caches
+from ..core.compiler import compile_kernel
+from ..core.store_index import ArtifactStore
+from ..legion.runtime import Runtime
+from .iterative import build_spmv_workload, spmv_iteration_schedule
+from .models import default_config
+
+__all__ = [
+    "CodegenBenchParams",
+    "CodegenBenchResult",
+    "run_codegen_bench",
+    "write_codegen_report",
+]
+
+
+@dataclass(frozen=True)
+class CodegenBenchParams:
+    """Shape of the scenario (the iterative-SpMV workload, rows strategy)."""
+
+    n: int = 20_000
+    density: float = 1e-4
+    pieces: int = 16
+    seed: int = 47
+    iterations: int = 200  # leaf sweeps per timing repeat
+    repeats: int = 5  # best-of repeats guards against scheduler noise
+
+
+@dataclass
+class CodegenBenchResult:
+    """Everything the benchmark and the regression gate assert on."""
+
+    params: CodegenBenchParams
+    interp_leaf_s: float  # steady seconds per full leaf sweep
+    codegen_leaf_s: float
+    values_bit_identical: bool
+    metrics_bit_identical: bool
+    cold_stats: dict = field(default_factory=dict)
+    warm_stats: dict = field(default_factory=dict)
+
+    @property
+    def leaf_speedup(self) -> float:
+        """Interpreter leaf sweep time over generated leaf sweep time."""
+        return self.interp_leaf_s / self.codegen_leaf_s
+
+    @property
+    def warm_start_zero_lowering(self) -> bool:
+        """The store round trip re-seeded the module without lowering."""
+        return (self.warm_stats.get("lowered") == 0
+                and self.warm_stats.get("store_seeded", 0) >= 1
+                and self.warm_stats.get("binds", 0) >= 1)
+
+
+def _metrics_signature(rt: Runtime) -> Tuple:
+    """An exact, comparable rendering of every recorded step metric."""
+    return tuple(
+        (
+            step.name,
+            step.tasks_launched,
+            tuple(sorted(step.compute_seconds.items())),
+            tuple((e.src_proc, e.dst_proc, e.nbytes, e.same_node, e.reason)
+                  for e in step.comm_events),
+        )
+        for step in rt.metrics.steps
+    )
+
+
+def _compile_and_run(p: CodegenBenchParams, machine, network, backend: str):
+    """Fresh workload from the seed, compiled and executed once."""
+    B, c, a = build_spmv_workload(p.n, p.density, p.seed)
+    sched = spmv_iteration_schedule(B, c, a, p.pieces)
+    ck = compile_kernel(sched, machine, backend=backend)
+    rt = Runtime(machine, network)
+    ck.execute(rt)
+    return B, a, ck, _metrics_signature(rt)
+
+
+def _time_leaf(ck, iterations: int, repeats: int) -> float:
+    """Steady seconds for one full leaf sweep (all pieces), best-of-N."""
+    leaf, pieces = ck._leaf, ck.pieces
+    for piece in pieces:  # warm-up sweep outside the timer
+        leaf(piece)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            for piece in pieces:
+                leaf(piece)
+        best = min(best, (time.perf_counter() - t0) / iterations)
+    return best
+
+
+def run_codegen_bench(
+    params: Optional[CodegenBenchParams] = None, **overrides
+) -> CodegenBenchResult:
+    """Run the full scenario; see the module docstring.
+
+    Keyword overrides (``n=..., iterations=...``) adjust
+    :class:`CodegenBenchParams`.  Caches are cleared around each leg so
+    neither backend can warm the other.
+    """
+    p = params or CodegenBenchParams(**overrides)
+    cfg = default_config()
+    machine, network = cfg.cpu_machine(p.pieces), cfg.legion_network()
+
+    # Leg 1: the interpreter reference.
+    clear_caches()
+    reset_codegen_stats()
+    _, a_ref, ck_interp, sig_ref = _compile_and_run(p, machine, network,
+                                                    "interp")
+    vals_ref = np.array(a_ref.vals.data, copy=True)
+    interp_leaf_s = _time_leaf(ck_interp, p.iterations, p.repeats)
+
+    # Leg 2: the codegen backend, cold (lowering happens here).
+    clear_caches()
+    reset_codegen_stats()
+    B2, a2, ck_cg, sig_cg = _compile_and_run(p, machine, network, "codegen")
+    cold = codegen_stats()
+    codegen_leaf_s = _time_leaf(ck_cg, p.iterations, p.repeats)
+    values_ok = bool(np.array_equal(vals_ref, a2.vals.data))
+    metrics_ok = sig_cg == sig_ref
+
+    # Leg 3: warm start through the artifact store — zero lowering work.
+    with tempfile.TemporaryDirectory(prefix="spdistal-codegen-") as tmp:
+        store = ArtifactStore(Path(tmp) / "store")
+        store.put(B2)
+        clear_caches()
+        reset_codegen_stats()
+        B3, c3, a3 = build_spmv_workload(p.n, p.density, p.seed)
+        s3 = spmv_iteration_schedule(B3, c3, a3, p.pieces)
+        store.load_latest(s3, machine)
+        ck3 = compile_kernel(s3, machine, backend="codegen")
+        ck3.execute(Runtime(machine, network))
+        warm = codegen_stats()
+
+    return CodegenBenchResult(
+        params=p,
+        interp_leaf_s=interp_leaf_s,
+        codegen_leaf_s=codegen_leaf_s,
+        values_bit_identical=values_ok,
+        metrics_bit_identical=metrics_ok,
+        cold_stats=dict(cold),
+        warm_stats=dict(warm),
+    )
+
+
+def write_codegen_report(result: CodegenBenchResult, directory) -> Path:
+    """Write the ``BENCH_codegen_<ts>.json`` baseline for
+    ``tools/bench_check.py`` (one schema definition, like the other
+    scenarios' reporters)."""
+    payload = {
+        "scenario": "codegen",
+        "timestamp": time.strftime("%Y%m%d-%H%M%S"),
+        "params": asdict(result.params),
+        "interp_leaf_ms": result.interp_leaf_s * 1e3,
+        "codegen_leaf_ms": result.codegen_leaf_s * 1e3,
+        "leaf_speedup": result.leaf_speedup,
+        "values_bit_identical": result.values_bit_identical,
+        "metrics_bit_identical": result.metrics_bit_identical,
+        "warm_start_zero_lowering": result.warm_start_zero_lowering,
+        "cold_stats": result.cold_stats,
+        "warm_stats": result.warm_stats,
+    }
+    path = Path(directory) / f"BENCH_codegen_{payload['timestamp']}.json"
+    path.write_text(json.dumps(payload, indent=2))
+    return path

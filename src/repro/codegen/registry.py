@@ -1,0 +1,157 @@
+"""AOT module registry: lower, exec-load, dump, and JIT-probe bookkeeping.
+
+The registry is the lifecycle layer between the lowering templates and the
+kernel cache: ``aot_entry_for`` resolves a stable fingerprint to an
+:class:`AotEntry` (lowering fresh source only on a miss), ``ensure_loaded``
+``exec``-compiles an entry's source into a real module object exactly once,
+and ``seed_from_store`` registers source re-hydrated from a packed artifact
+without counting as lowering work — the warm-start contract asserted by the
+bench gate.  Counters for every transition are exposed through
+:func:`repro.codegen.codegen_stats`.
+"""
+from __future__ import annotations
+
+import os
+import types
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from ..core import cache as _cache
+from . import lowering
+
+#: lifecycle counters — ``lowered`` is the one the warm-start gate watches.
+_counters: Dict[str, int] = {
+    "lowered": 0,        # fresh source emissions (cache misses)
+    "loaded": 0,         # exec-compilations of source into a module
+    "binds": 0,          # leaf binds (thunk-table constructions)
+    "fallbacks": 0,      # kernels routed back to the interpreter
+    "store_seeded": 0,   # modules re-hydrated from a packed artifact
+}
+
+
+@dataclass
+class AotEntry:
+    """One generated module: source + metadata + lazily exec'd module."""
+
+    key: str
+    kind: str
+    fmt: str
+    strategy: str
+    source: str
+    module: Optional[types.ModuleType] = None
+    from_store: bool = False
+
+
+def stats() -> Dict[str, int]:
+    """A snapshot of the lifecycle counters."""
+    return dict(_counters)
+
+
+def reset_stats() -> None:
+    """Zero every lifecycle counter (test/bench isolation)."""
+    for k in _counters:
+        _counters[k] = 0
+
+
+def bump(counter: str) -> None:
+    """Increment one lifecycle counter."""
+    _counters[counter] += 1
+
+
+def aot_entry_for(key: str, kind: str, fmt: str, strategy: str) -> AotEntry:
+    """The cached entry for ``key``, lowering fresh source on a miss."""
+    entry = _cache.lookup_aot(key)
+    if entry is not None:
+        return entry
+    source = lowering.emit_source(kind, fmt, strategy)
+    _counters["lowered"] += 1
+    entry = AotEntry(key, kind, fmt, strategy, source)
+    _maybe_dump(entry)
+    _cache.store_aot(key, entry, nbytes=len(source) + 512)
+    return entry
+
+
+def seed_from_store(key: str, meta: Dict[str, object], source: str) -> None:
+    """Register source loaded from a packed artifact (zero lowering work)."""
+    if _cache.lookup_aot(key) is not None:
+        return
+    entry = AotEntry(
+        key,
+        str(meta.get("kind", "")),
+        str(meta.get("format", "")),
+        str(meta.get("strategy", "")),
+        source,
+        from_store=True,
+    )
+    _cache.store_aot(key, entry, nbytes=len(source) + 512)
+    _counters["store_seeded"] += 1
+
+
+def ensure_loaded(entry: AotEntry) -> types.ModuleType:
+    """``exec``-compile the entry's source into a module object, once."""
+    if entry.module is None:
+        name = (
+            f"repro_codegen_{entry.kind}_{entry.fmt}_{entry.strategy}"
+            f"_{entry.key[:12]}"
+        )
+        module = types.ModuleType(name)
+        module.__aot_key__ = entry.key
+        code = compile(entry.source, f"<repro.codegen:{name}>", "exec")
+        exec(code, module.__dict__)
+        entry.module = module
+        _counters["loaded"] += 1
+    return entry.module
+
+
+def _maybe_dump(entry: AotEntry) -> None:
+    """Write freshly lowered source to ``$REPRO_CODEGEN_DUMP`` if set."""
+    dump = os.environ.get("REPRO_CODEGEN_DUMP")
+    if not dump:
+        return
+    dump_dir = Path(dump)
+    dump_dir.mkdir(parents=True, exist_ok=True)
+    fname = f"{entry.kind}_{entry.fmt}_{entry.strategy}_{entry.key[:16]}.py"
+    (dump_dir / fname).write_text(entry.source)
+
+
+# --------------------------------------------------------------------- #
+# optional numba JIT tier
+# --------------------------------------------------------------------- #
+_jit_state: Dict[str, object] = {"probed": False, "warned": False, "decorator": None}
+
+
+def jit_decorator() -> Optional[Callable]:
+    """The njit wrapper when ``REPRO_CODEGEN_JIT=1`` and numba imports.
+
+    Returns ``None`` when the flag is off or numba is absent; the absence
+    path warns exactly once and generated modules keep their vectorized
+    thunks.
+    """
+    if os.environ.get("REPRO_CODEGEN_JIT") != "1":
+        return None
+    if not _jit_state["probed"]:
+        _jit_state["probed"] = True
+        try:
+            from numba import njit  # type: ignore
+
+            _jit_state["decorator"] = lambda fn: njit(cache=True)(fn)
+        except ImportError:
+            if not _jit_state["warned"]:
+                warnings.warn(
+                    "REPRO_CODEGEN_JIT=1 but numba is not importable; "
+                    "generated kernels stay vectorized (no JIT tier)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                _jit_state["warned"] = True
+            _jit_state["decorator"] = None
+    return _jit_state["decorator"]  # type: ignore[return-value]
+
+
+def reset_jit_state() -> None:
+    """Forget the numba probe result (tests toggling the env flag)."""
+    _jit_state["probed"] = False
+    _jit_state["warned"] = False
+    _jit_state["decorator"] = None

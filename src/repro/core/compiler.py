@@ -184,7 +184,13 @@ class CompiledKernel:
         self.operands = operands
         self.out = schedule.assignment.lhs.tensor
         self._runtime: Optional[Runtime] = None
+        #: execution backend: "interp" (closure leaves over repro.kernels)
+        #: or "codegen" (AOT-generated flat thunks, interpreter fallback
+        #: where unsupported).  Set by ``compile_statement``.
+        self.backend: str = "interp"
         self._leaf: Optional[Callable[[Piece], Work]] = None
+        #: backend the current ``_leaf`` was built for (rebuild on change).
+        self._leaf_backend: Optional[str] = None
         self._streamed: set = set()
         self._spadd_reqs: Optional[List[RegionReq]] = None
 
@@ -199,10 +205,14 @@ class CompiledKernel:
         raw NumPy views and is rebuilt lazily on the first execute)."""
         state = self.__dict__.copy()
         state["_leaf"] = None
+        state["_leaf_backend"] = None
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        # Kernels pickled before the codegen backend existed lack the knob.
+        self.__dict__.setdefault("backend", "interp")
+        self.__dict__.setdefault("_leaf_backend", None)
         # ``parts``/``privileges``/``_streamed`` key on id(tensor); ids
         # changed across the pickle boundary.  Every partition carries its
         # tensor, so re-key from the old ids to the unpickled identities.
@@ -316,7 +326,7 @@ class CompiledKernel:
         )
 
     def _execute_compute(self, rt: Runtime) -> None:
-        if self._leaf is None:
+        if self._leaf is None or self._leaf_backend != self.backend:
             # Write targets must be promoted before the leaf captures their
             # arrays: a leaf closure over a read-only mmap-backed region
             # (load_packed(..., mmap=True)) would crash on its first write,
@@ -324,7 +334,13 @@ class CompiledKernel:
             for t_id, part in self.parts.items():
                 if self.privileges.get(t_id, Privilege.READ_ONLY) != Privilege.READ_ONLY:
                     part.tensor.ensure_writable()
-            self._leaf = _build_leaf(self)
+            leaf = None
+            if self.backend == "codegen":
+                from .. import codegen as _codegen  # lazy: avoids import cycle
+
+                leaf = _codegen.leaf_for(self)
+            self._leaf = leaf if leaf is not None else _build_leaf(self)
+            self._leaf_backend = self.backend
         if self._needs_zero():
             self.out.vals.fill(0.0)
         by_color = {p.color: p for p in self.pieces}
@@ -436,6 +452,7 @@ def compile_kernel(
     machine: Optional[Machine] = None,
     *,
     use_cache: bool = True,
+    backend: Optional[str] = None,
 ) -> CompiledKernel:
     """Compile a scheduled statement for a machine (Fig. 9a).
 
@@ -455,7 +472,9 @@ def compile_kernel(
     """
     from .program import compile_program
 
-    return compile_program([schedule], machine, use_cache=use_cache).kernels[0]
+    return compile_program(
+        [schedule], machine, use_cache=use_cache, backend=backend
+    ).kernels[0]
 
 
 def compile_statement(
@@ -463,17 +482,31 @@ def compile_statement(
     machine: Optional[Machine] = None,
     *,
     use_cache: bool = True,
+    backend: Optional[str] = None,
 ) -> CompiledKernel:
     """Compile one scheduled statement (the cache-aware single-statement
     engine behind :func:`compile_kernel` and
-    :func:`repro.core.program.compile_program`)."""
+    :func:`repro.core.program.compile_program`).
+
+    ``backend`` selects how leaves execute: ``"codegen"`` (the default,
+    via :mod:`repro.codegen`) runs AOT-generated flat thunks where a
+    lowering template exists and falls back to the interpreter elsewhere;
+    ``"interp"`` forces the closure leaves.  The knob only retargets the
+    kernel's leaf — partitions, launches and simulated metrics are
+    identical either way.
+    """
+    from .. import codegen as _codegen  # lazy: avoids import cycle
+
+    backend = _codegen.resolve_backend(backend)
     if machine is None:
         machine = Machine.cpu(1)
     if not use_cache:
         # The full seed path: bypass the partition memo too, so measured
         # uncached compiles really re-derive every coordinate-tree partition.
         with _cache.caches_disabled():
-            return _compile_uncached(schedule, machine)
+            ck = _compile_uncached(schedule, machine)
+            ck.backend = backend
+            return ck
     if _cache.caches_enabled():
         try:
             key = _cache.kernel_fingerprint(schedule, machine)
@@ -485,15 +518,19 @@ def compile_statement(
             # handed to a caller that didn't ask for streaming — recompile
             # (the fresh kernel then replaces the mutated entry).
             if hit is not None and not hit._streamed:
+                hit.backend = backend
                 return hit
             ck = _compile_uncached(schedule, machine)
+            ck.backend = backend
             # Compilation may adopt an input's pattern into the output
             # (bumping its version), so store under the post-compile
             # fingerprint — the one the next lookup will compute.
             post = _cache.kernel_fingerprint(schedule, machine)
             _cache.store_kernel(post, ck, schedule.assignment.tensors())
             return ck
-    return _compile_uncached(schedule, machine)
+    ck = _compile_uncached(schedule, machine)
+    ck.backend = backend
+    return ck
 
 
 def _compile_uncached(schedule: Schedule, machine: Machine) -> CompiledKernel:

@@ -192,6 +192,7 @@ def compile_program(
     *,
     use_cache: bool = True,
     cse: bool = True,
+    backend: Optional[str] = None,
 ) -> CompiledProgram:
     """Compile scheduled statements together into a :class:`CompiledProgram`.
 
@@ -205,13 +206,16 @@ def compile_program(
     only the first occurrence executes per pass — later occurrences are
     satisfied from it (see :func:`_cse_reuse_map` for the safety rules).
     An empty program is an error — there is nothing to compile.
+    ``backend`` is forwarded to every statement compile (None picks the
+    process-wide codegen default; see :mod:`repro.codegen`).
     """
     if not schedules:
         raise ValueError("compile_program needs at least one scheduled statement")
     if machine is None:
         machine = Machine.cpu(1)
     kernels = [
-        compile_statement(s, machine, use_cache=use_cache) for s in schedules
+        compile_statement(s, machine, use_cache=use_cache, backend=backend)
+        for s in schedules
     ]
     reused_from = (
         _cse_reuse_map(schedules, machine) if cse and len(schedules) > 1

@@ -293,6 +293,10 @@ class ArtifactStore:
         for rmeta in manifest["regions"]:
             files.append((art_dir / rmeta["file"], rmeta["sha256"],
                           rmeta["bytes"]))
+        aot_modules = manifest.get("aot_modules", [])
+        for ameta in aot_modules:
+            files.append((art_dir / ameta["file"], ameta["sha256"],
+                          ameta["bytes"]))
         objects = []
         for path, sha, nbytes in files:
             self._dedup_file(idx, path, sha, nbytes)
@@ -309,6 +313,9 @@ class ArtifactStore:
             "content_hash": content_hash,
             "keys": all_keys,
             "objects": objects,
+            # AOT generated-module count: gc pins the newest holder of a
+            # live fp: key when it carries generated source (see _gc_locked).
+            "aot": len(aot_modules),
         }
         for key in all_keys:
             idx["keys"].setdefault(key, []).append(aid)
@@ -420,8 +427,24 @@ class ArtifactStore:
                 key=lambda a: idx["artifacts"][a]["seq"],
                 default=None,
             )
+            # Pin the newest surviving holder of every live fp: key that
+            # carries AOT generated modules: that artifact is what resolves
+            # the fingerprint, and evicting it would pull the generated
+            # source out from under a persisted kernel-cache entry.
+            pinned: set = set()
+            for key, entries in idx["keys"].items():
+                if not key.startswith("fp:"):
+                    continue
+                holder = next(
+                    (a for a in reversed(entries) if a not in doomed), None
+                )
+                if holder is not None and int(
+                    idx["artifacts"][holder].get("aot", 0)
+                ):
+                    pinned.add(holder)
             by_lru = sorted(
-                (a for a in idx["artifacts"] if a not in doomed and a != newest),
+                (a for a in idx["artifacts"]
+                 if a not in doomed and a != newest and a not in pinned),
                 key=lambda a: (idx["artifacts"][a]["last_used"],
                                idx["artifacts"][a]["seq"]),
             )
@@ -546,6 +569,12 @@ class ArtifactStore:
                 sidecar = art_dir / rmeta["file"]
                 if not sidecar.exists():
                     problems.append(f"artifact {aid}: missing sidecar {rmeta['file']}")
+            for ameta in manifest.get("aot_modules", ()):
+                module = art_dir / ameta["file"]
+                if not module.exists():
+                    problems.append(
+                        f"artifact {aid}: missing aot module {ameta['file']}"
+                    )
             for sha in meta["objects"]:
                 counted[sha] = counted.get(sha, 0) + 1
                 obj = idx["objects"].get(sha)

@@ -1,0 +1,90 @@
+"""Optional numba JIT tier: env gating, warn-once probe, exactness."""
+import importlib.util
+import warnings
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.codegen import codegen_stats, registry, reset_codegen_stats
+from repro.core import clear_caches, compile_kernel
+from repro.legion import Machine, Runtime
+from repro.taco import CSR, Tensor, index_vars
+
+N, M, PIECES = 48, 40, 4
+
+_NUMBA_PRESENT = importlib.util.find_spec("numba") is not None
+
+
+@pytest.fixture(autouse=True)
+def isolated(monkeypatch):
+    monkeypatch.delenv("REPRO_CODEGEN_JIT", raising=False)
+    registry.reset_jit_state()
+    clear_caches()
+    reset_codegen_stats()
+    yield
+    registry.reset_jit_state()
+    clear_caches()
+    reset_codegen_stats()
+
+
+def spmv_workload(seed=33):
+    rng = np.random.default_rng(seed)
+    A = sp.random(N, M, density=0.15, random_state=rng, format="csr")
+    B = Tensor.from_scipy("B", A, CSR)
+    c = Tensor.from_dense("c", rng.random(M))
+    a = Tensor.zeros("a", (N,))
+    i, j, io, ii = index_vars("i j io ii")
+    a[i] = B[i, j] * c[j]
+    sched = (a.schedule().divide(i, io, ii, PIECES).distribute(io)
+             .communicate([a, B, c], io))
+    return a, sched
+
+
+def test_jit_off_by_default():
+    assert registry.jit_decorator() is None
+
+
+@pytest.mark.skipif(_NUMBA_PRESENT, reason="numba installed: absence path n/a")
+def test_missing_numba_warns_exactly_once(monkeypatch):
+    monkeypatch.setenv("REPRO_CODEGEN_JIT", "1")
+    with pytest.warns(RuntimeWarning, match="numba is not importable"):
+        assert registry.jit_decorator() is None
+    # Second probe: still None, but silent.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert registry.jit_decorator() is None
+    assert caught == []
+
+
+@pytest.mark.skipif(_NUMBA_PRESENT, reason="numba installed: absence path n/a")
+def test_missing_numba_keeps_vectorized_kernels(monkeypatch):
+    monkeypatch.setenv("REPRO_CODEGEN_JIT", "1")
+    machine = Machine.cpu(PIECES)
+    a1, s1 = spmv_workload()
+    with pytest.warns(RuntimeWarning, match="numba is not importable"):
+        ck = compile_kernel(s1, machine, backend="codegen")
+        ck.execute(Runtime(machine))
+    assert codegen_stats()["binds"] >= 1
+    clear_caches()
+    a2, s2 = spmv_workload()
+    ck2 = compile_kernel(s2, machine, backend="interp")
+    ck2.execute(Runtime(machine))
+    np.testing.assert_array_equal(a1.to_dense(), a2.to_dense())
+
+
+def test_jit_tier_matches_interpreter_exactly(monkeypatch):
+    pytest.importorskip("numba")
+    monkeypatch.setenv("REPRO_CODEGEN_JIT", "1")
+    machine = Machine.cpu(PIECES)
+    a1, s1 = spmv_workload()
+    ck = compile_kernel(s1, machine, backend="codegen")
+    ck.execute(Runtime(machine))
+    assert codegen_stats()["binds"] >= 1
+    clear_caches()
+    a2, s2 = spmv_workload()
+    ck2 = compile_kernel(s2, machine, backend="interp")
+    ck2.execute(Runtime(machine))
+    # Sequential per-row accumulation matches np.bincount's add order, so
+    # the JIT tier is bit-identical, not merely close.
+    np.testing.assert_array_equal(a1.to_dense(), a2.to_dense())

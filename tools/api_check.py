@@ -37,6 +37,8 @@ REQUIRED_EXPORTS = [
     # building blocks
     "Tensor", "Schedule", "Machine", "index_vars",
     "compile_kernel", "compile_program",
+    # codegen backend knobs
+    "set_codegen_backend", "codegen_backend", "codegen_stats",
     # formats
     "Format", "CSR", "CSC", "CSF3", "DDC",
     "DENSE_MATRIX", "DENSE_VECTOR", "SPARSE_VECTOR",

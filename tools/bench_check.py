@@ -29,6 +29,13 @@ Three gated scenarios, each compared against its most recent
   a ``gc(keep_latest=1)`` compaction.  The gated statistic is the
   warm-over-rebuilt wall-clock speedup.
 
+* **codegen** — the AOT codegen backend's generated leaves against the
+  interpreter leaves on the iterative-SpMV kernel.  Checked
+  unconditionally: output values and simulated metrics bit-identical
+  between backends, warm start through the artifact store with zero
+  lowering work, and a >= 2x leaf-sweep acceptance floor.  The gated
+  statistic is the leaf speedup.
+
 * **autotune** — ``Session.autotune`` against the hand-written schedules
   on the figure workloads.  Checked unconditionally, per workload: the
   tuned steady trial must be within 5% of the *best* hand-written
@@ -369,6 +376,48 @@ def check_autotune(write: bool, threshold: float) -> int:
                        threshold, record)
 
 
+# --------------------------------------------------------------------------- #
+# scenario: codegen (generated leaves vs interpreter leaves)
+# --------------------------------------------------------------------------- #
+def check_codegen(write: bool, threshold: float) -> int:
+    from repro.bench.codegenbench import run_codegen_bench, write_codegen_report
+    from repro.core import clear_caches
+
+    clear_caches()
+    result = run_codegen_bench()
+    print(f"codegen: interp leaf {result.interp_leaf_s * 1e3:.3f} ms/sweep, "
+          f"generated leaf {result.codegen_leaf_s * 1e3:.3f} ms/sweep, "
+          f"speedup {result.leaf_speedup:.2f}x")
+
+    # The codegen contract is unconditional — a break fails regardless of
+    # any baseline: bit-identical values and simulated metrics, a >= 2x
+    # leaf-sweep acceptance floor, and a warm start that re-seeds the
+    # generated module from the artifact store with zero lowering work.
+    failures = []
+    if not result.values_bit_identical:
+        failures.append("output values differ between backends")
+    if not result.metrics_bit_identical:
+        failures.append("simulated metrics differ between backends")
+    if not result.warm_start_zero_lowering:
+        failures.append(
+            f"warm start did lowering work: {result.warm_stats}"
+        )
+    if result.leaf_speedup < 2.0:
+        failures.append(
+            f"leaf speedup {result.leaf_speedup:.2f}x below the 2x floor"
+        )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"OK: contracts hold (warm stats {result.warm_stats})")
+
+    return _gate_ratio(
+        "codegen", "leaf_speedup", result.leaf_speedup, write, threshold,
+        lambda: write_codegen_report(result, BENCH_DIR),
+    )
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--threshold", type=float, default=0.20,
@@ -377,7 +426,7 @@ def main(argv=None) -> int:
                     help="record new baselines instead of comparing")
     ap.add_argument("--scenario",
                     choices=("iterative", "warmstart", "figures", "autotune",
-                             "all"),
+                             "codegen", "all"),
                     default="all")
     args = ap.parse_args(argv)
 
@@ -391,6 +440,8 @@ def main(argv=None) -> int:
         rc |= check_figures(args.write, args.threshold)
     if args.scenario in ("autotune", "all"):
         rc |= check_autotune(args.write, args.threshold)
+    if args.scenario in ("codegen", "all"):
+        rc |= check_codegen(args.write, args.threshold)
     return rc
 
 
