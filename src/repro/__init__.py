@@ -21,7 +21,15 @@ optional artifact store); ``repro.einsum`` and ``Session.define`` /
 anywhere.  The low-level surface (``repro.core.compile_kernel``,
 ``repro.legion.Runtime``) remains available unchanged.
 """
-from .errors import CompileError, FormatError, OOMError, ReproError, ScheduleError
+from .errors import (
+    CompileError,
+    FormatError,
+    OOMError,
+    ReproError,
+    ScheduleError,
+    ServingError,
+    TenantBudgetError,
+)
 from .taco import (
     CSC,
     CSF3,
@@ -41,9 +49,12 @@ from .codegen import codegen_backend, codegen_stats, set_codegen_backend
 from .api import (
     AutotuneResult,
     Program,
+    ServeResult,
+    Server,
     Session,
     auto_schedule,
     einsum,
+    serve,
     session,
 )
 
@@ -57,6 +68,10 @@ __all__ = [
     "einsum",
     "auto_schedule",
     "AutotuneResult",
+    # multi-tenant serving layer
+    "serve",
+    "Server",
+    "ServeResult",
     # building blocks
     "Tensor",
     "Schedule",
@@ -83,5 +98,7 @@ __all__ = [
     "OOMError",
     "ReproError",
     "ScheduleError",
+    "ServingError",
+    "TenantBudgetError",
     "__version__",
 ]

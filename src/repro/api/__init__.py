@@ -17,6 +17,11 @@ runs with exactly as much ceremony as the user wants to spend:
   :class:`~repro.taco.schedule.Schedule` overrides it.
 * :func:`einsum` — ``repro.einsum("ij,j->i", B, c)``, the NumPy-style
   entry point lowering to the same pipeline.
+* :class:`Server` (``repro.serve(...)``) — a multi-tenant request
+  scheduler multiplexing concurrent einsum requests over a pool of
+  pre-warmed sessions that share the process-wide caches, with
+  single-flight compile/tune dedup and per-tenant byte budgets
+  (``docs/serving.md``).
 
 The low-level API (``compile_kernel(schedule, machine)``) keeps working
 unchanged — it is now a thin wrapper over a one-statement program.
@@ -24,11 +29,16 @@ unchanged — it is now a thin wrapper over a one-statement program.
 from .autoschedule import auto_schedule, auto_strategy, candidate_strategies
 from .einsum import einsum
 from .program import Program, Statement
+from .serving import ServeResult, Server, TenantStats, serve
 from .session import AutotuneCandidate, AutotuneResult, Session, session
 
 __all__ = [
     "Session",
     "session",
+    "Server",
+    "serve",
+    "ServeResult",
+    "TenantStats",
     "Program",
     "Statement",
     "auto_schedule",

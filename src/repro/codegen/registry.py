@@ -8,10 +8,19 @@ and ``seed_from_store`` registers source re-hydrated from a packed artifact
 without counting as lowering work — the warm-start contract asserted by the
 bench gate.  Counters for every transition are exposed through
 :func:`repro.codegen.codegen_stats`.
+
+Thread safety: the registry is shared by every session in the process, so
+all counter/state mutations happen under the module ``_LOCK`` (enforced
+statically by ``tools/lock_check.py``), and ``aot_entry_for`` is
+*single-flight* per fingerprint — N threads missing on the same key elect
+one lowering leader while the rest wait, so the ``lowered`` counter counts
+distinct fingerprints even under a concurrent herd (the property the
+serving bench and stress suite assert).
 """
 from __future__ import annotations
 
 import os
+import threading
 import types
 import warnings
 from dataclasses import dataclass
@@ -21,6 +30,11 @@ from typing import Callable, Dict, Optional
 from ..core import cache as _cache
 from . import lowering
 
+#: One lock for every piece of registry state: the lifecycle counters, the
+#: JIT probe memo and the single-flight table.  Reentrant so a locked
+#: helper may call another (``bump`` inside a locked region).
+_LOCK = threading.RLock()
+
 #: lifecycle counters — ``lowered`` is the one the warm-start gate watches.
 _counters: Dict[str, int] = {
     "lowered": 0,        # fresh source emissions (cache misses)
@@ -29,6 +43,9 @@ _counters: Dict[str, int] = {
     "fallbacks": 0,      # kernels routed back to the interpreter
     "store_seeded": 0,   # modules re-hydrated from a packed artifact
 }
+
+#: fingerprints with a lowering currently in flight -> completion event.
+_inflight: Dict[str, threading.Event] = {}
 
 
 @dataclass
@@ -46,62 +63,98 @@ class AotEntry:
 
 def stats() -> Dict[str, int]:
     """A snapshot of the lifecycle counters."""
-    return dict(_counters)
+    with _LOCK:
+        return dict(_counters)
 
 
 def reset_stats() -> None:
     """Zero every lifecycle counter (test/bench isolation)."""
-    for k in _counters:
-        _counters[k] = 0
+    with _LOCK:
+        for k in _counters:
+            _counters[k] = 0
 
 
 def bump(counter: str) -> None:
     """Increment one lifecycle counter."""
-    _counters[counter] += 1
+    with _LOCK:
+        _counters[counter] += 1
 
 
 def aot_entry_for(key: str, kind: str, fmt: str, strategy: str) -> AotEntry:
-    """The cached entry for ``key``, lowering fresh source on a miss."""
-    entry = _cache.lookup_aot(key)
-    if entry is not None:
-        return entry
-    source = lowering.emit_source(kind, fmt, strategy)
-    _counters["lowered"] += 1
-    entry = AotEntry(key, kind, fmt, strategy, source)
-    _maybe_dump(entry)
-    _cache.store_aot(key, entry, nbytes=len(source) + 512)
+    """The cached entry for ``key``, lowering fresh source on a miss.
+
+    Single-flight under concurrency: when several threads miss on the same
+    fingerprint, exactly one lowers (and pays the ``lowered`` count) while
+    the rest block on its completion event and then hit the cache.  If the
+    leader fails — or the cache layer is disabled, so its store was a no-op
+    — waiters re-enter the election, preserving the uncached semantics of
+    one lowering per call.
+    """
+    while True:
+        entry = _cache.lookup_aot(key)
+        if entry is not None:
+            return entry
+        with _LOCK:
+            # Re-check under the lock: a leader may have stored between the
+            # unlocked miss above and acquiring the lock.
+            entry = _cache.lookup_aot(key)
+            if entry is not None:
+                return entry
+            waiter = _inflight.get(key)
+            if waiter is None:
+                _inflight[key] = threading.Event()
+                break
+        waiter.wait()
+    try:
+        source = lowering.emit_source(kind, fmt, strategy)
+        entry = AotEntry(key, kind, fmt, strategy, source)
+        _maybe_dump(entry)
+        with _LOCK:
+            _counters["lowered"] += 1
+            _cache.store_aot(key, entry, nbytes=len(source) + 512)
+    finally:
+        with _LOCK:
+            _inflight.pop(key).set()
     return entry
 
 
 def seed_from_store(key: str, meta: Dict[str, object], source: str) -> None:
     """Register source loaded from a packed artifact (zero lowering work)."""
-    if _cache.lookup_aot(key) is not None:
-        return
-    entry = AotEntry(
-        key,
-        str(meta.get("kind", "")),
-        str(meta.get("format", "")),
-        str(meta.get("strategy", "")),
-        source,
-        from_store=True,
-    )
-    _cache.store_aot(key, entry, nbytes=len(source) + 512)
-    _counters["store_seeded"] += 1
+    with _LOCK:
+        if _cache.lookup_aot(key) is not None:
+            return
+        entry = AotEntry(
+            key,
+            str(meta.get("kind", "")),
+            str(meta.get("format", "")),
+            str(meta.get("strategy", "")),
+            source,
+            from_store=True,
+        )
+        _cache.store_aot(key, entry, nbytes=len(source) + 512)
+        _counters["store_seeded"] += 1
 
 
 def ensure_loaded(entry: AotEntry) -> types.ModuleType:
-    """``exec``-compile the entry's source into a module object, once."""
+    """``exec``-compile the entry's source into a module object, once.
+
+    The check-then-exec is serialized under the module lock so two threads
+    binding the same entry concurrently load one module object (the
+    ``loaded`` counter stays per-entry exact).
+    """
     if entry.module is None:
-        name = (
-            f"repro_codegen_{entry.kind}_{entry.fmt}_{entry.strategy}"
-            f"_{entry.key[:12]}"
-        )
-        module = types.ModuleType(name)
-        module.__aot_key__ = entry.key
-        code = compile(entry.source, f"<repro.codegen:{name}>", "exec")
-        exec(code, module.__dict__)
-        entry.module = module
-        _counters["loaded"] += 1
+        with _LOCK:
+            if entry.module is None:
+                name = (
+                    f"repro_codegen_{entry.kind}_{entry.fmt}_{entry.strategy}"
+                    f"_{entry.key[:12]}"
+                )
+                module = types.ModuleType(name)
+                module.__aot_key__ = entry.key
+                code = compile(entry.source, f"<repro.codegen:{name}>", "exec")
+                exec(code, module.__dict__)
+                entry.module = module
+                _counters["loaded"] += 1
     return entry.module
 
 
@@ -131,27 +184,29 @@ def jit_decorator() -> Optional[Callable]:
     """
     if os.environ.get("REPRO_CODEGEN_JIT") != "1":
         return None
-    if not _jit_state["probed"]:
-        _jit_state["probed"] = True
-        try:
-            from numba import njit  # type: ignore
+    with _LOCK:
+        if not _jit_state["probed"]:
+            _jit_state["probed"] = True
+            try:
+                from numba import njit  # type: ignore
 
-            _jit_state["decorator"] = lambda fn: njit(cache=True)(fn)
-        except ImportError:
-            if not _jit_state["warned"]:
-                warnings.warn(
-                    "REPRO_CODEGEN_JIT=1 but numba is not importable; "
-                    "generated kernels stay vectorized (no JIT tier)",
-                    RuntimeWarning,
-                    stacklevel=3,
-                )
-                _jit_state["warned"] = True
-            _jit_state["decorator"] = None
-    return _jit_state["decorator"]  # type: ignore[return-value]
+                _jit_state["decorator"] = lambda fn: njit(cache=True)(fn)
+            except ImportError:
+                if not _jit_state["warned"]:
+                    warnings.warn(
+                        "REPRO_CODEGEN_JIT=1 but numba is not importable; "
+                        "generated kernels stay vectorized (no JIT tier)",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    _jit_state["warned"] = True
+                _jit_state["decorator"] = None
+        return _jit_state["decorator"]  # type: ignore[return-value]
 
 
 def reset_jit_state() -> None:
     """Forget the numba probe result (tests toggling the env flag)."""
-    _jit_state["probed"] = False
-    _jit_state["warned"] = False
-    _jit_state["decorator"] = None
+    with _LOCK:
+        _jit_state["probed"] = False
+        _jit_state["warned"] = False
+        _jit_state["decorator"] = None

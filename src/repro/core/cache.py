@@ -60,11 +60,27 @@ process's object identities and calls :func:`store_kernel` /
 Use :func:`set_cache_enabled` (or the :func:`caches_disabled` context
 manager) to force the uncached paths, e.g. when benchmarking the seed
 behavior.
+
+Thread safety
+-------------
+Every cache tier is safe for concurrent in-process use: each
+:class:`_SizedLRU` serializes its own map/accounting mutations behind a
+per-instance ``RLock`` (the in-process mirror of the cross-process
+advisory ``flock`` the artifact store holds over ``index.json``), and the
+machine-signature memo holds a module lock.  The discipline — every
+mutation of a shared cache structure happens lexically inside a ``with
+<lock>:`` block — is enforced statically by ``tools/lock_check.py``,
+which runs in the tier-1 suite.  Cross-call races (two threads compiling
+the same schedule and both storing) stay benign: puts are idempotent for
+equal keys and byte accounting is exact either way.  *Deduplicating* that
+duplicate work is the serving layer's job (:mod:`repro.api.serving`
+single-flights compiles/autotunes per fingerprint).
 """
 from __future__ import annotations
 
 import contextlib
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import astuple
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
@@ -135,9 +151,16 @@ class _SizedLRU:
     entry count fits ``max_entries``).  The entry being inserted is never
     evicted, so a single oversized entry still caches — run-many workloads
     over one huge tensor must not silently lose their only entry.
+
+    Thread-safe: every method serializes on the instance ``RLock`` (a
+    reentrant lock so eviction inside ``put`` may run arbitrary entry
+    destructors that read the cache).  ``items`` snapshots under the lock
+    and yields outside it, so export iteration never holds the lock across
+    caller work.
     """
 
     def __init__(self, budget_bytes: int, max_entries: int):
+        self._lock = threading.RLock()
         self.budget_bytes = int(budget_bytes)
         self.max_entries = int(max_entries)
         self._map: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
@@ -147,52 +170,60 @@ class _SizedLRU:
         self.evictions = 0
 
     def get(self, key: Hashable) -> Optional[Any]:
-        try:
-            value, _ = self._map[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._map.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value, _ = self._map[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._map.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any, nbytes: int) -> None:
-        nbytes = max(int(nbytes), 1)
-        old = self._map.pop(key, None)
-        if old is not None:
-            self.total_bytes -= old[1]
-        self._map[key] = (value, nbytes)
-        self.total_bytes += nbytes
-        while len(self._map) > 1 and (
-            self.total_bytes > self.budget_bytes or len(self._map) > self.max_entries
-        ):
-            _, (_, dropped) = self._map.popitem(last=False)
-            self.total_bytes -= dropped
-            self.evictions += 1
+        with self._lock:
+            nbytes = max(int(nbytes), 1)
+            old = self._map.pop(key, None)
+            if old is not None:
+                self.total_bytes -= old[1]
+            self._map[key] = (value, nbytes)
+            self.total_bytes += nbytes
+            while len(self._map) > 1 and (
+                self.total_bytes > self.budget_bytes
+                or len(self._map) > self.max_entries
+            ):
+                _, (_, dropped) = self._map.popitem(last=False)
+                self.total_bytes -= dropped
+                self.evictions += 1
 
     def resize(self, budget_bytes: int) -> None:
-        self.budget_bytes = int(budget_bytes)
-        while len(self._map) > 1 and self.total_bytes > self.budget_bytes:
-            _, (_, dropped) = self._map.popitem(last=False)
-            self.total_bytes -= dropped
-            self.evictions += 1
+        with self._lock:
+            self.budget_bytes = int(budget_bytes)
+            while len(self._map) > 1 and self.total_bytes > self.budget_bytes:
+                _, (_, dropped) = self._map.popitem(last=False)
+                self.total_bytes -= dropped
+                self.evictions += 1
 
     def drop_if(self, pred) -> int:
-        doomed = [k for k, (v, _) in self._map.items() if pred(k, v)]
-        for k in doomed:
-            self.total_bytes -= self._map.pop(k)[1]
-        return len(doomed)
+        with self._lock:
+            doomed = [k for k, (v, _) in self._map.items() if pred(k, v)]
+            for k in doomed:
+                self.total_bytes -= self._map.pop(k)[1]
+            return len(doomed)
 
     def items(self) -> Iterator[Tuple[Hashable, Any]]:
-        for k, (v, _) in self._map.items():
-            yield k, v
+        with self._lock:
+            snapshot = [(k, v) for k, (v, _) in self._map.items()]
+        return iter(snapshot)
 
     def clear(self) -> None:
-        self._map.clear()
-        self.total_bytes = 0
+        with self._lock:
+            self._map.clear()
+            self.total_bytes = 0
 
     def __len__(self) -> int:
-        return len(self._map)
+        with self._lock:
+            return len(self._map)
 
 
 _kernel_cache = _SizedLRU(_KERNEL_CACHE_BUDGET, _KERNEL_CACHE_MAX_ENTRIES)
@@ -373,6 +404,7 @@ def is_assembled_output(asg: Assignment) -> bool:
 
 
 _machine_sigs: Dict[int, Tuple[Any, Tuple]] = {}
+_SIG_LOCK = threading.RLock()
 
 
 def _machine_signature(machine) -> Tuple:
@@ -382,9 +414,10 @@ def _machine_signature(machine) -> Tuple:
     if hit is not None and hit[0] is machine:
         return hit[1]
     sig = (machine.kind.value, machine.grid.dims, astuple(machine.node))
-    if len(_machine_sigs) > 64:
-        _machine_sigs.clear()
-    _machine_sigs[id(machine)] = (machine, sig)
+    with _SIG_LOCK:
+        if len(_machine_sigs) > 64:
+            _machine_sigs.clear()
+        _machine_sigs[id(machine)] = (machine, sig)
     return sig
 
 

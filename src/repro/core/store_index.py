@@ -55,6 +55,7 @@ import contextlib
 import json
 import os
 import shutil
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -118,6 +119,14 @@ class ArtifactStore:
         self.root = Path(root)
         self.artifacts_dir = self.root / ARTIFACTS_DIR
         self.objects_dir = self.root / OBJECTS_DIR
+        # In-process serialization of the index read-modify-write, taken
+        # *before* the cross-process flock in _locked: N serving threads
+        # sharing one ArtifactStore queue here instead of each burning a
+        # file descriptor + flock round trip, and platforms without fcntl
+        # still get single-writer behavior within the process.  Reentrant
+        # because locked entry points never call each other today but the
+        # discipline should not break if one ever does.
+        self._tlock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # index I/O
@@ -142,20 +151,23 @@ class ArtifactStore:
         therefore serializes on a POSIX ``flock`` over a sidecar lock file
         — the lock file, not ``index.json`` itself, because the atomic
         ``os.replace`` swaps the index inode out from under a lock held on
-        it.  Reentrant within a process-level context is not needed (no
-        mutating method calls another); on platforms without ``fcntl`` the
-        lock degrades to a no-op, preserving single-writer behavior.
+        it.  In-process threads serialize on ``self._tlock`` first (the
+        RLock mirror of the flock discipline — see the thread-safety note
+        in :mod:`repro.core.cache`); on platforms without ``fcntl`` the
+        file lock degrades to a no-op and the thread lock alone preserves
+        single-writer behavior within the process.
         """
-        if fcntl is None:  # pragma: no cover - non-POSIX fallback
-            yield
-            return
-        self.root.mkdir(parents=True, exist_ok=True)
-        with open(self.lock_path, "a+b") as fh:
-            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
-            try:
+        with self._tlock:
+            if fcntl is None:  # pragma: no cover - non-POSIX fallback
                 yield
-            finally:
-                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+                return
+            self.root.mkdir(parents=True, exist_ok=True)
+            with open(self.lock_path, "a+b") as fh:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
 
     def _fresh_index(self) -> Dict[str, Any]:
         return {

@@ -3,7 +3,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError", "OOMError", "CompileError", "ScheduleError", "FormatError",
-    "StoreError", "StoreFormatError",
+    "StoreError", "StoreFormatError", "ServingError", "TenantBudgetError",
 ]
 
 
@@ -40,6 +40,27 @@ class StoreError(ReproError):
     """A persistent artifact (``repro.core.store``) could not be read or
     written: missing/corrupt manifest, unsupported format version, or a
     manifest that does not match its payload."""
+
+
+class ServingError(ReproError):
+    """The multi-tenant serving layer (:mod:`repro.api.serving`) rejected a
+    request or is in a state where it cannot accept one (e.g. submitting
+    to a closed server, or naming an unknown catalog tensor)."""
+
+
+class TenantBudgetError(ServingError):
+    """Admission control refused a tenant whose accumulated compile-cache
+    charge exceeds its byte budget.  Carries the tenant name, its budget
+    and its current charge so callers can shed load or raise the budget."""
+
+    def __init__(self, tenant: str, charged: int, budget: int):
+        self.tenant = tenant
+        self.charged = int(charged)
+        self.budget = int(budget)
+        super().__init__(
+            f"tenant {tenant!r} over budget: charged {charged} bytes of a "
+            f"{budget}-byte compile budget — request refused at admission"
+        )
 
 
 class StoreFormatError(StoreError):

@@ -15,34 +15,51 @@ callables receiving each new :class:`Assignment`; only the innermost one
 sees it (programs nest without double-recording).  When no recorder is
 active, assignment capture is a no-op — the eager single-statement flow is
 unchanged.
+
+The stack is *thread-local*: a program capturing on one serving thread
+must never collect assignments written concurrently by another tenant's
+thread (see :mod:`repro.api.serving`), and LIFO push/pop stays coherent
+per thread without locking.
 """
 from __future__ import annotations
 
+import threading
 from typing import Callable, List
 
 from .expr import Assignment
 
 __all__ = ["push_recorder", "pop_recorder", "notify_assignment"]
 
-_recorders: List[Callable[[Assignment], None]] = []
+_local = threading.local()
+
+
+def _stack() -> List[Callable[[Assignment], None]]:
+    stack = getattr(_local, "recorders", None)
+    if stack is None:
+        stack = _local.recorders = []
+    return stack
 
 
 def push_recorder(recorder: Callable[[Assignment], None]) -> None:
-    """Make ``recorder`` the active (innermost) assignment recorder."""
-    _recorders.append(recorder)
+    """Make ``recorder`` the active (innermost) assignment recorder on the
+    calling thread."""
+    _stack().append(recorder)
 
 
 def pop_recorder(recorder: Callable[[Assignment], None]) -> None:
-    """Deactivate ``recorder``; it must be the innermost one."""
+    """Deactivate ``recorder``; it must be the calling thread's innermost."""
     # ``==`` not ``is``: bound methods are re-created per attribute access,
     # so a Program entering with ``self._record`` exits with an equal (not
     # identical) object.
-    if not _recorders or _recorders[-1] != recorder:
+    recorders = _stack()
+    if not recorders or recorders[-1] != recorder:
         raise RuntimeError("assignment recorders must pop in LIFO order")
-    _recorders.pop()
+    recorders.pop()
 
 
 def notify_assignment(assignment: Assignment) -> None:
-    """Deliver a freshly built assignment to the innermost recorder."""
-    if _recorders:
-        _recorders[-1](assignment)
+    """Deliver a freshly built assignment to the calling thread's innermost
+    recorder."""
+    recorders = _stack()
+    if recorders:
+        recorders[-1](assignment)

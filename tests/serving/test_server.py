@@ -1,0 +1,231 @@
+"""Functional tests for the multi-tenant serving layer (`repro.serve`).
+
+Covers the request path (catalog -> submit -> future -> ServeResult), the
+single-flight build dedup, per-tenant accounting and admission control,
+tuned requests, the sparse-output (SDDMM) path, and lifecycle edges
+(close, unknown operands, malformed specs).  The concurrency *stress*
+herds live in ``test_stress.py``; these tests pin the API contract.
+"""
+import numpy as np
+import pytest
+
+import repro
+from repro.api.serving import ServeResult, Server
+from repro.core import clear_caches
+from repro.errors import ServingError, TenantBudgetError
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+N, K = 80, 6
+
+
+def make_data(seed=7):
+    rng = np.random.default_rng(seed)
+    B = rng.random((N, N)) * (rng.random((N, N)) < 0.1)
+    return {
+        "B": B,
+        "x": rng.random(N),
+        "C": rng.random((N, K)),
+        "D": rng.random((K, N)),
+    }
+
+
+def make_server(**kw):
+    srv = repro.serve(nodes=2, workers=2, **kw)
+    data = make_data()
+    srv.put_tensor("B", data["B"], repro.CSR)
+    srv.put_tensor("x", data["x"])
+    srv.put_tensor("C", data["C"])
+    srv.put_tensor("D", data["D"])
+    return srv, data
+
+
+class TestRequestPath:
+    def test_spmv_round_trip(self):
+        srv, data = make_server()
+        with srv:
+            res = srv.submit("ij,j->i", "B", "x", tenant="alice").result(60)
+        assert isinstance(res, ServeResult)
+        assert res.tenant == "alice"
+        assert res.compiled  # first request of the signature leads the build
+        assert np.allclose(res.value, data["B"] @ data["x"])
+
+    def test_value_is_a_private_copy(self):
+        srv, data = make_server()
+        with srv:
+            r1 = srv.submit("ij,j->i", "B", "x").result(60)
+            r1.value[:] = -1.0
+            r2 = srv.submit("ij,j->i", "B", "x").result(60)
+        assert np.allclose(r2.value, data["B"] @ data["x"])
+
+    def test_sddmm_sparse_output(self):
+        srv, data = make_server()
+        with srv:
+            res = srv.submit("ij,ik,kj->ij", "B", "C", "D",
+                             out_format=repro.CSR).result(60)
+        ref = data["B"] * (data["C"] @ data["D"])
+        assert np.allclose(res.value, ref)
+
+    def test_mixed_kernels_share_no_entries(self):
+        srv, data = make_server()
+        with srv:
+            a = srv.submit("ij,j->i", "B", "x").result(60)
+            b = srv.submit("ij,jk->ik", "B", "C").result(60)
+        assert a.key != b.key
+        assert srv.compiles == 2
+        assert np.allclose(b.value, data["B"] @ data["C"])
+
+    def test_repeat_requests_compile_once(self):
+        srv, _ = make_server()
+        with srv:
+            results = [srv.submit("ij,j->i", "B", "x").result(60)
+                       for _ in range(5)]
+        assert srv.compiles == 1
+        assert sum(r.compiled for r in results) == 1
+        first = results[0].value
+        for r in results[1:]:
+            assert np.array_equal(r.value, first)  # bit-identical replays
+
+    def test_tuned_request_records_strategy(self):
+        srv, data = make_server()
+        with srv:
+            res = srv.submit("ij,jk->ik", "B", "C", tune=True).result(120)
+        assert res.strategy in ("rows", "nonzeros", "grid")
+        assert np.allclose(res.value, data["B"] @ data["C"])
+
+    def test_tensor_operand_auto_registers(self):
+        srv, data = make_server()
+        rng = np.random.default_rng(5)
+        with srv:
+            y = srv._sessions[0].tensor("y", rng.random(N))
+            res = srv.submit("ij,j->i", "B", y).result(60)
+            assert "y" in srv.catalog()
+        assert np.allclose(res.value, data["B"] @ np.asarray(y.to_dense()))
+
+    def test_submit_program_batches(self):
+        srv, data = make_server()
+        with srv:
+            futs = srv.submit_program(
+                [("ij,j->i", "B", "x"), ("ij,jk->ik", "B", "C")],
+                tenant="batch",
+            )
+            vals = [f.result(60) for f in futs]
+        assert np.allclose(vals[0].value, data["B"] @ data["x"])
+        assert np.allclose(vals[1].value, data["B"] @ data["C"])
+
+    def test_warm_prebuilds_entries(self):
+        srv, _ = make_server()
+        with srv:
+            srv.warm([("ij,j->i", "B", "x"), ("ij,jk->ik", "B", "C")])
+            assert srv.compiles == 2
+            res = srv.submit("ij,j->i", "B", "x").result(60)
+        assert not res.compiled  # warm() already built the entry
+
+
+class TestTenantsAndAdmission:
+    def test_tenant_accounting(self):
+        srv, _ = make_server()
+        with srv:
+            for _ in range(3):
+                srv.submit("ij,j->i", "B", "x", tenant="a").result(60)
+            srv.submit("ij,jk->ik", "B", "C", tenant="b").result(60)
+            stats = srv.tenant_stats()
+        assert stats["a"].admitted == 3 and stats["a"].completed == 3
+        assert stats["b"].admitted == 1
+        # only the build leader's tenant is charged
+        assert stats["a"].charged_bytes > 0
+        assert stats["b"].charged_bytes > 0
+
+    def test_over_budget_tenant_is_refused(self):
+        srv, _ = make_server()
+        with srv:
+            srv.submit("ij,j->i", "B", "x", tenant="spender").result(60)
+            charged = srv.tenant("spender").charged_bytes
+            assert charged > 0
+            srv.set_tenant_budget("spender", charged)  # at budget => refused
+            with pytest.raises(TenantBudgetError) as exc:
+                srv.submit("ij,jk->ik", "B", "C", tenant="spender")
+            assert exc.value.tenant == "spender"
+            assert srv.tenant("spender").rejected == 1
+            # other tenants keep flowing
+            srv.submit("ij,jk->ik", "B", "C", tenant="other").result(60)
+            # raising the budget re-admits
+            srv.set_tenant_budget("spender", None)
+            srv.submit("ij,jk->ik", "B", "C", tenant="spender").result(60)
+
+    def test_default_budget_applies_to_new_tenants(self):
+        srv, _ = make_server(default_budget_bytes=1)
+        with srv:
+            srv.submit("ij,j->i", "B", "x", tenant="t0").result(60)
+            assert srv.tenant("t0").over_budget  # first build blew 1 byte
+            with pytest.raises(TenantBudgetError):
+                srv.submit("ij,jk->ik", "B", "C", tenant="t0")
+
+    def test_cache_hits_cost_nothing(self):
+        srv, _ = make_server()
+        with srv:
+            srv.submit("ij,j->i", "B", "x", tenant="leader").result(60)
+            before = srv.tenant("follower").charged_bytes
+            srv.submit("ij,j->i", "B", "x", tenant="follower").result(60)
+            assert srv.tenant("follower").charged_bytes == before == 0
+
+
+class TestLifecycleAndErrors:
+    def test_unknown_catalog_tensor(self):
+        srv, _ = make_server()
+        with srv:
+            with pytest.raises(ServingError, match="unknown catalog tensor"):
+                srv.submit("ij,j->i", "B", "nope")
+
+    def test_malformed_spec_fails_at_submit(self):
+        srv, _ = make_server()
+        with srv:
+            with pytest.raises(ValueError):
+                srv.submit("ij,j,k->i", "B", "x")
+
+    def test_duplicate_catalog_name_rejected(self):
+        srv, _ = make_server()
+        with srv:
+            with pytest.raises(ServingError, match="already registered"):
+                srv.put_tensor("B", np.eye(4))
+
+    def test_submit_after_close(self):
+        srv, _ = make_server()
+        srv.close()
+        with pytest.raises(ServingError, match="closed server"):
+            srv.submit("ij,j->i", "B", "x")
+
+    def test_close_is_idempotent(self):
+        srv, _ = make_server()
+        srv.close()
+        srv.close()
+
+    def test_build_error_delivered_to_future_and_retried(self):
+        srv, _ = make_server()
+        with srv:
+            # operand order mismatch surfaces in the build, on the future
+            fut = srv.submit("ijk,j->i", "B", "x")
+            with pytest.raises(ServingError, match="order"):
+                fut.result(60)
+            # the failed flight must not wedge the key: a later identical
+            # request re-elects a leader and fails the same way (not hang)
+            with pytest.raises(ServingError, match="order"):
+                srv.submit("ijk,j->i", "B", "x").result(60)
+            # and the server still serves good requests
+            assert srv.submit("ij,j->i", "B", "x").result(60) is not None
+
+    def test_stats_snapshot(self):
+        srv, _ = make_server()
+        with srv:
+            srv.submit("ij,j->i", "B", "x", tenant="s").result(60)
+            stats = srv.stats()
+        assert stats["entries"] == 1 and stats["compiles"] == 1
+        assert stats["workers"] == 2
+        assert stats["tenants"]["s"]["completed"] == 1
+        assert "kernel_entries" in stats["cache"] or stats["cache"]

@@ -34,6 +34,8 @@ EXAMPLES = REPO / "examples"
 REQUIRED_EXPORTS = [
     # high-level front end
     "session", "Session", "Program", "einsum", "auto_schedule",
+    # multi-tenant serving layer
+    "serve", "Server", "ServeResult",
     # building blocks
     "Tensor", "Schedule", "Machine", "index_vars",
     "compile_kernel", "compile_program",

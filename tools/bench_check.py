@@ -36,6 +36,15 @@ Three gated scenarios, each compared against its most recent
   lowering work, and a >= 2x leaf-sweep acceptance floor.  The gated
   statistic is the leaf speedup.
 
+* **serving** — the multi-tenant serving layer: 8 tenant threads drive a
+  mixed SpMV/SpMM/SDDMM open-loop load through one ``repro.Server``
+  against the isolated-serial baseline (the same streams replayed
+  tenant-by-tenant with cleared caches).  Checked unconditionally:
+  identical concurrent requests deduplicate to one compile/tune build,
+  responses are bit-identical to the serial reference, nothing is shed
+  under an unbudgeted load, and aggregate throughput clears a 3x
+  acceptance floor.  The gated statistic is the serving speedup.
+
 * **autotune** — ``Session.autotune`` against the hand-written schedules
   on the figure workloads.  Checked unconditionally, per workload: the
   tuned steady trial must be within 5% of the *best* hand-written
@@ -418,6 +427,58 @@ def check_codegen(write: bool, threshold: float) -> int:
     )
 
 
+# --------------------------------------------------------------------------- #
+# scenario: serving (multi-tenant amortization under a concurrent herd)
+# --------------------------------------------------------------------------- #
+def check_serving(write: bool, threshold: float) -> int:
+    from repro.bench.servingbench import run_serving_bench, write_serving_report
+    from repro.core import clear_caches
+
+    clear_caches()
+    result = run_serving_bench()
+    print(f"serving: {result.total_requests} requests from "
+          f"{result.params.tenants} tenants — serving "
+          f"{result.serving_wall_s * 1e3:.0f} ms "
+          f"({result.serving_throughput_rps:.1f} req/s, "
+          f"p50 {result.p50_latency_s * 1e3:.1f} ms, "
+          f"p99 {result.p99_latency_s * 1e3:.1f} ms), isolated serial "
+          f"{result.serial_wall_s * 1e3:.0f} ms "
+          f"({result.serial_throughput_rps:.1f} req/s), "
+          f"speedup {result.serving_speedup:.2f}x")
+
+    # The serving contract is unconditional — a break fails regardless of
+    # any baseline: single-flight dedup of identical concurrent builds,
+    # bit-identical responses, no shedding of an unbudgeted load, and the
+    # >= 3x aggregate-throughput acceptance floor over isolated tenants.
+    failures = []
+    if not result.deduplicated:
+        failures.append(
+            f"compile/tune not deduplicated: {result.server_compiles} builds "
+            f"for {result.distinct_requests} distinct signatures, "
+            f"lowered={result.lowered} (one tenant: {result.serial_lowered})"
+        )
+    if not result.values_bit_identical:
+        failures.append("responses diverged from the serial reference")
+    if result.rejections:
+        failures.append(f"{result.rejections} admission rejections under an "
+                        "unbudgeted load")
+    if result.serving_speedup < 3.0:
+        failures.append(
+            f"serving speedup {result.serving_speedup:.2f}x below the 3x floor"
+        )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"OK: contracts hold ({result.server_compiles} builds serve "
+          f"{result.total_requests} requests)")
+
+    return _gate_ratio(
+        "serving", "serving_speedup", result.serving_speedup, write,
+        threshold, lambda: write_serving_report(result, BENCH_DIR),
+    )
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--threshold", type=float, default=0.20,
@@ -426,7 +487,7 @@ def main(argv=None) -> int:
                     help="record new baselines instead of comparing")
     ap.add_argument("--scenario",
                     choices=("iterative", "warmstart", "figures", "autotune",
-                             "codegen", "all"),
+                             "codegen", "serving", "all"),
                     default="all")
     args = ap.parse_args(argv)
 
@@ -442,6 +503,8 @@ def main(argv=None) -> int:
         rc |= check_autotune(args.write, args.threshold)
     if args.scenario in ("codegen", "all"):
         rc |= check_codegen(args.write, args.threshold)
+    if args.scenario in ("serving", "all"):
+        rc |= check_serving(args.write, args.threshold)
     return rc
 
 
