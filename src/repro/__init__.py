@@ -22,13 +22,18 @@ anywhere.  The low-level surface (``repro.core.compile_kernel``,
 ``repro.legion.Runtime``) remains available unchanged.
 """
 from .errors import (
+    AnalysisError,
     CompileError,
     FormatError,
+    IllegalCSE,
     OOMError,
     ReproError,
+    SanitizerError,
     ScheduleError,
     ServingError,
     TenantBudgetError,
+    UnsupportedEinsum,
+    WriteHazard,
 )
 from .taco import (
     CSC,
@@ -46,6 +51,7 @@ from .taco import (
 from .legion import Machine
 from .core import compile_kernel, compile_program
 from .codegen import codegen_backend, codegen_stats, set_codegen_backend
+from .analysis import AnalysisReport, analyze_program
 from .api import (
     AutotuneResult,
     Program,
@@ -79,6 +85,9 @@ __all__ = [
     "index_vars",
     "compile_kernel",
     "compile_program",
+    # static analysis
+    "analyze_program",
+    "AnalysisReport",
     # codegen backend knobs
     "set_codegen_backend",
     "codegen_backend",
@@ -93,12 +102,17 @@ __all__ = [
     "DENSE_VECTOR",
     "SPARSE_VECTOR",
     # errors
+    "AnalysisError",
     "CompileError",
     "FormatError",
+    "IllegalCSE",
     "OOMError",
     "ReproError",
+    "SanitizerError",
     "ScheduleError",
     "ServingError",
     "TenantBudgetError",
+    "UnsupportedEinsum",
+    "WriteHazard",
     "__version__",
 ]

@@ -1,0 +1,76 @@
+"""Static analysis over programs and stored artifacts.
+
+Three coordinated layers (see ``docs/analysis.md``):
+
+* **privileges + hazards** — per-statement read/write privilege sets
+  (tensor × mode, with the accumulate / assembled-output distinctions
+  the execution engine makes), RAW/WAR/WAW dependence graph, and typed
+  ``WriteHazard`` / ``UnsupportedEinsum`` diagnostics;
+* **cse** — proven-safe common-subexpression collapse: the reuse map
+  ``compile_program(cse=True)`` executes, plus ``IllegalCSE``
+  diagnostics explaining every blocked collapse;
+* **sanitizer** — the AST allowlist that guards every exec-load of
+  store-seeded AOT kernel source.
+
+:func:`analyze_program` is the one-call entry; the high-level
+``repro.Program.analyze()`` wraps it.
+"""
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import (
+    AnalysisError, IllegalCSE, SanitizerError, UnsupportedEinsum, WriteHazard,
+)
+from .cse import cse_reuse_map
+from .hazards import Dependence, DependenceGraph, build_graph, detect_hazards
+from .privileges import (
+    StatementPrivileges, TensorUse, program_privileges, statement_privileges,
+)
+from .report import AnalysisReport, Diagnostic, Provenance
+from .sanitizer import (
+    ALLOWED_IMPORT_ROOTS, FORBIDDEN_NAMES, aot_trusted, verify_aot_source,
+)
+
+__all__ = [
+    "AnalysisReport", "Diagnostic", "Provenance",
+    "TensorUse", "StatementPrivileges",
+    "statement_privileges", "program_privileges",
+    "Dependence", "DependenceGraph", "build_graph", "detect_hazards",
+    "cse_reuse_map", "analyze_program",
+    "aot_trusted", "verify_aot_source",
+    "ALLOWED_IMPORT_ROOTS", "FORBIDDEN_NAMES",
+    "AnalysisError", "WriteHazard", "IllegalCSE", "UnsupportedEinsum",
+    "SanitizerError",
+]
+
+
+def analyze_program(targets: Sequence, machine=None) -> AnalysisReport:
+    """Statically analyze a program (a sequence of schedules/assignments).
+
+    Returns the full :class:`AnalysisReport`: privilege sets, dependence
+    graph, WriteHazard / UnsupportedEinsum / IllegalCSE diagnostics, and
+    the CSE reuse map ``compile_program`` consults.  Never executes or
+    compiles anything.
+    """
+    from ..legion.machine import Machine
+    from ..taco.schedule import Schedule
+
+    if machine is None:
+        machine = Machine.cpu(1)
+    schedules = [
+        t if isinstance(t, Schedule) else Schedule(t) for t in targets
+    ]
+    privs = program_privileges(schedules)
+    report = AnalysisReport(
+        privileges=privs,
+        graph=build_graph(privs),
+        diagnostics=detect_hazards(privs),
+    )
+    if len(schedules) > 1:
+        reuse, cse_diags = cse_reuse_map(schedules, machine)
+        report.reuse_map = reuse
+        report.diagnostics.extend(cse_diags)
+    else:
+        report.reuse_map = [None] * len(schedules)
+    return report

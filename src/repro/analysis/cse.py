@@ -1,0 +1,96 @@
+"""Proven-safe common-subexpression collapse.
+
+This module is the analyzer-derived replacement for the pattern-matched
+reuse map that used to live inline in ``core.program``: given the
+scheduled statements of a program, decide which later statements are
+satisfied by an earlier identical one, and — new — explain every
+*blocked* collapse as a typed :class:`~repro.errors.IllegalCSE`
+diagnostic with full provenance (the root occurrence, the interleaved
+write that invalidated it, and the tensor that carried the conflict).
+
+The legality rules are exactly the executed semantics:
+
+* two statements are candidates when their kernel fingerprints coincide
+  (same canonical statement, schedule, tensor identities, pattern
+  versions and machine);
+* accumulating statements (``+=`` changes the output each execution) and
+  assembled outputs (SpAdd re-builds its pattern; the fingerprint
+  deliberately ignores the LHS version) never collapse;
+* a statement writing tensor T invalidates every recorded subexpression
+  that touches T — except the subexpression the writer itself repeats,
+  whose values it reproduces bit-for-bit.
+
+``compile_program(cse=True)`` consults :func:`cse_reuse_map`, so the
+collapse decision is *proven* from privilege/fingerprint facts rather
+than re-derived ad hoc, and ``Program.analyze()`` surfaces the same
+facts as diagnostics.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import cache as _cache
+from ..errors import IllegalCSE
+from .report import Diagnostic, Provenance
+
+__all__ = ["cse_reuse_map"]
+
+
+def cse_reuse_map(
+    schedules: Sequence, machine
+) -> Tuple[List[Optional[int]], List[Diagnostic]]:
+    """(reuse map, blocked-collapse diagnostics) for a program.
+
+    The reuse map lists, per statement, the index of the earlier
+    identical statement whose execution satisfies it (or None); indices
+    always point at the root occurrence, which is the one that executes.
+    Diagnostics are warning-severity: a blocked collapse is not a program
+    error, it just must execute — the diagnostic documents *why*.
+    """
+    reuse: List[Optional[int]] = [None] * len(schedules)
+    live: Dict = {}    # fingerprint -> index of the executing occurrence
+    killed: Dict = {}  # fingerprint -> (root, killer index, tensor name)
+    diagnostics: List[Diagnostic] = []
+    for n, sched in enumerate(schedules):
+        asg = sched.assignment
+        try:
+            fp = _cache.kernel_fingerprint(sched, machine)
+        except _cache.Unfingerprintable:
+            fp = None
+        eligible = (
+            fp is not None
+            and not asg.accumulate
+            and not _cache.is_assembled_output(asg)
+        )
+        if eligible and fp in live:
+            reuse[n] = live[fp]
+        elif eligible and fp in killed:
+            root, killer, tname = killed[fp]
+            diagnostics.append(Diagnostic(
+                severity="warning",
+                error_type=IllegalCSE,
+                message=(
+                    f"identical to statement {root} but statement {killer} "
+                    f"wrote {tname} in between — the repeated occurrence "
+                    "reads different values and must execute"
+                ),
+                provenance=Provenance(
+                    statement=n,
+                    statement_repr=repr(asg),
+                    tensor=tname,
+                    related_statement=killer,
+                ),
+            ))
+        # This statement writes its LHS: any recorded subexpression reading
+        # (or writing) that tensor is stale for statements after n — except
+        # the one n itself repeats, whose values n reproduces bit-for-bit.
+        written = asg.lhs.tensor
+        for f in [f for f, m in live.items() if f != fp and any(
+            t is written for t in schedules[m].assignment.tensors()
+        )]:
+            killed[f] = (live[f], n, written.name)
+            del live[f]
+        if eligible and fp not in live:
+            live[fp] = n
+            killed.pop(fp, None)
+    return reuse, diagnostics

@@ -1,0 +1,107 @@
+"""Analysis reports: typed diagnostics with statement/loop-var provenance.
+
+An :class:`AnalysisReport` is what ``Program.analyze()`` (and the core
+:func:`repro.analysis.analyze_program`) returns: the per-statement
+privilege sets, the statement dependence graph, and a list of
+:class:`Diagnostic` findings.  Each diagnostic names its typed error
+class from the :mod:`repro.errors` taxonomy (``WriteHazard``,
+``IllegalCSE``, ``UnsupportedEinsum``) and carries a
+:class:`Provenance` chain — statement index and repr, the tensor, and
+the loop variables involved with their derived → underlying provenance —
+so a rejected program points at exactly where the hazard lives.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Type
+
+from ..errors import AnalysisError
+
+__all__ = ["Provenance", "Diagnostic", "AnalysisReport"]
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where a diagnostic is anchored in the analyzed program."""
+
+    statement: int  #: 0-based program position
+    statement_repr: str
+    tensor: Optional[str] = None
+    #: involved loop variables; derived variables render their underlying
+    #: chain as ``"fo<-i,j"`` (derived ``<-`` the originals it ranges over).
+    loop_vars: Tuple[str, ...] = ()
+    #: a second statement the finding relates to (CSE root, clobberer, …)
+    related_statement: Optional[int] = None
+
+    def __str__(self) -> str:
+        parts = [f"statement {self.statement}: {self.statement_repr}"]
+        if self.tensor is not None:
+            parts.append(f"tensor {self.tensor}")
+        if self.loop_vars:
+            parts.append("vars " + ", ".join(self.loop_vars))
+        if self.related_statement is not None:
+            parts.append(f"with statement {self.related_statement}")
+        return "; ".join(parts)
+
+
+@dataclass
+class Diagnostic:
+    """One typed finding of the analyzer."""
+
+    severity: str  #: "error" (compile would misbehave) or "warning"
+    error_type: Type[AnalysisError]
+    message: str
+    provenance: Provenance
+
+    def to_error(self) -> AnalysisError:
+        """Instantiate the typed error this diagnostic describes."""
+        return self.error_type(self.message, self.provenance)
+
+    def __str__(self) -> str:
+        return (f"{self.severity}[{self.error_type.__name__}] "
+                f"{self.message} [{self.provenance}]")
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of statically analyzing one program."""
+
+    privileges: List = field(default_factory=list)
+    graph: Optional[object] = None  #: :class:`repro.analysis.hazards.DependenceGraph`
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: per statement, the earlier identical statement CSE may collapse it
+    #: into (None where it must execute) — what ``compile_program`` consults.
+    reuse_map: List[Optional[int]] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was found."""
+        return not self.errors
+
+    def raise_errors(self) -> None:
+        """Raise the first error-severity diagnostic as its typed error."""
+        for d in self.errors:
+            raise d.to_error()
+
+    def diagnostics_of(self, error_type: Type[AnalysisError]
+                       ) -> List[Diagnostic]:
+        """Diagnostics of one typed-error class (errors and warnings)."""
+        return [d for d in self.diagnostics if d.error_type is error_type]
+
+    def describe(self) -> str:
+        """A human-readable rendering of the whole report."""
+        lines = [p.describe() for p in self.privileges]
+        if self.graph is not None:
+            lines.append(self.graph.describe())
+        lines.extend(str(d) for d in self.diagnostics)
+        if not self.diagnostics:
+            lines.append("no diagnostics")
+        return "\n".join(lines)

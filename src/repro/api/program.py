@@ -127,6 +127,22 @@ class Program:
             for s in self.statements
         ]
 
+    def analyze(self):
+        """Statically analyze the recorded statements without compiling.
+
+        Returns an :class:`repro.analysis.AnalysisReport`: per-statement
+        read/write privilege sets, the RAW/WAR/WAW statement dependence
+        graph, typed diagnostics (``WriteHazard`` / ``UnsupportedEinsum``
+        errors, ``IllegalCSE`` warnings) and the common-subexpression
+        reuse map that :meth:`compile` with ``cse=True`` will execute —
+        the same analysis, so what the report proves is what runs.
+        """
+        if not self.statements:
+            raise ValueError("the program has no statements")
+        from ..analysis import analyze_program
+
+        return analyze_program(self.schedules(), self.session.machine)
+
     def compile(self, *, use_cache: bool = True, cse: bool = True) -> CompiledProgram:
         """Compile all recorded statements together (shared operands'
         partitions are derived once, repeated identical statements collapse

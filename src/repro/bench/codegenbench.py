@@ -161,6 +161,16 @@ def run_codegen_bench(
     with tempfile.TemporaryDirectory(prefix="spdistal-codegen-") as tmp:
         store = ArtifactStore(Path(tmp) / "store")
         store.put(B2)
+        # Unconditional sanitizer contract: the artifact this run just
+        # wrote must pass verify() — manifest sha256 plus the AST
+        # allowlist over its generated AOT modules — before the warm leg
+        # is allowed to exec-load it.
+        problems = store.verify()
+        if problems:
+            raise RuntimeError(
+                "freshly written artifact failed verification: "
+                + "; ".join(problems)
+            )
         clear_caches()
         reset_codegen_stats()
         B3, c3, a3 = build_spmv_workload(p.n, p.density, p.seed)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
+from ..analysis import sanitizer as _sanitizer
 from ..core import cache as _cache
 from . import lowering
 
@@ -118,8 +119,23 @@ def aot_entry_for(key: str, kind: str, fmt: str, strategy: str) -> AotEntry:
     return entry
 
 
-def seed_from_store(key: str, meta: Dict[str, object], source: str) -> None:
-    """Register source loaded from a packed artifact (zero lowering work)."""
+def seed_from_store(
+    key: str, meta: Dict[str, object], source: str, *, origin: object = None
+) -> None:
+    """Register source loaded from a packed artifact (zero lowering work).
+
+    Store-seeded source is untrusted until proven otherwise: it is checked
+    against the generated-module AST allowlist
+    (:func:`repro.analysis.sanitizer.verify_aot_source`) *before* it is
+    registered, so a tampered artifact raises a typed
+    :class:`~repro.errors.SanitizerError` here instead of executing
+    arbitrary code at the later ``ensure_loaded``.  ``REPRO_AOT_TRUST``
+    skips the check; ``origin`` names the on-disk file in diagnostics.
+    """
+    if not _sanitizer.aot_trusted():
+        _sanitizer.verify_aot_source(
+            source, filename=str(origin) if origin is not None else f"aot:{key[:32]}"
+        )
     with _LOCK:
         if _cache.lookup_aot(key) is not None:
             return
@@ -141,8 +157,17 @@ def ensure_loaded(entry: AotEntry) -> types.ModuleType:
     The check-then-exec is serialized under the module lock so two threads
     binding the same entry concurrently load one module object (the
     ``loaded`` counter stays per-entry exact).
+
+    Store-seeded entries re-verify against the AST allowlist immediately
+    before ``exec`` (defense in depth over the ``seed_from_store`` check —
+    the entry may predate the sanitizer or have been constructed directly);
+    locally lowered source is our own emitter's output and is trusted.
     """
     if entry.module is None:
+        if entry.from_store and not _sanitizer.aot_trusted():
+            _sanitizer.verify_aot_source(
+                entry.source, filename=f"aot:{entry.key[:32]}"
+            )
         with _LOCK:
             if entry.module is None:
                 name = (

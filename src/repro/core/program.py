@@ -157,32 +157,15 @@ def _cse_reuse_map(
     rebuilds its pattern; the fingerprint deliberately ignores the LHS
     version) are never reused.  Reuse indices always point at the root
     occurrence, which is the one that executes.
+
+    The legality rules live in the static analyzer
+    (:func:`repro.analysis.cse.cse_reuse_map`) so the collapse decision is
+    derived from the same privilege/fingerprint facts ``Program.analyze()``
+    reports; this wrapper discards the blocked-collapse diagnostics.
     """
-    reuse: List[Optional[int]] = [None] * len(schedules)
-    live: dict = {}  # fingerprint -> index of the executing occurrence
-    for n, sched in enumerate(schedules):
-        asg = sched.assignment
-        try:
-            fp = _cache.kernel_fingerprint(sched, machine)
-        except _cache.Unfingerprintable:
-            fp = None
-        eligible = (
-            fp is not None
-            and not asg.accumulate
-            and not _cache.is_assembled_output(asg)
-        )
-        if eligible and fp in live:
-            reuse[n] = live[fp]
-        # This statement writes its LHS: any recorded subexpression reading
-        # (or writing) that tensor is stale for statements after n — except
-        # the one n itself repeats, whose values n reproduces bit-for-bit.
-        written = asg.lhs.tensor
-        for f in [f for f, m in live.items() if f != fp and any(
-            t is written for t in schedules[m].assignment.tensors()
-        )]:
-            del live[f]
-        if eligible and fp not in live:
-            live[fp] = n
+    from ..analysis.cse import cse_reuse_map
+
+    reuse, _diagnostics = cse_reuse_map(schedules, machine)
     return reuse
 
 

@@ -70,7 +70,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..errors import StoreError, StoreFormatError
+from ..errors import SanitizerError, StoreError, StoreFormatError
 from ..legion.index_space import IndexSpace
 from ..legion.region import Region
 from ..legion.runtime import Privilege
@@ -604,6 +604,8 @@ def load_packed(
         if aot_modules:
             from ..codegen import registry as _codegen_registry
 
+            from ..analysis import sanitizer as _sanitizer
+
             for meta in aot_modules:
                 src_path = path / meta["file"]
                 if not src_path.exists():
@@ -611,8 +613,22 @@ def load_packed(
                         f"{path}: manifest names a missing AOT module "
                         f"{meta['file']}"
                     )
+                # Refuse tampered source before it reaches the exec-loading
+                # registry: the manifest's per-module sha256 must match the
+                # bytes on disk (REPRO_AOT_TRUST skips, like the sanitizer).
+                declared = meta.get("sha256")
+                if declared and not _sanitizer.aot_trusted():
+                    actual = file_sha256(src_path)
+                    if actual != declared:
+                        raise SanitizerError(
+                            src_path,
+                            "AOT module content does not match its manifest "
+                            f"sha256 (declared {declared[:12]}…, found "
+                            f"{actual[:12]}… — tampered or stale artifact)",
+                        )
                 _codegen_registry.seed_from_store(
-                    meta["fingerprint"], meta, src_path.read_text()
+                    meta["fingerprint"], meta, src_path.read_text(),
+                    origin=src_path,
                 )
         for key, decision in payload.get("decisions", ()):
             _cache.store_decision(key, decision)

@@ -66,10 +66,12 @@ try:  # POSIX advisory locks; absent on some platforms
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None
 
-from ..errors import StoreError, StoreFormatError
+from ..analysis.sanitizer import verify_aot_source
+from ..errors import SanitizerError, StoreError, StoreFormatError
 from .store import (
     MANIFEST_NAME,
     PackedArtifact,
+    file_sha256,
     load_packed,
     read_manifest,
     save_packed,
@@ -549,9 +551,12 @@ class ArtifactStore:
 
         Every key entry must resolve to an indexed artifact; every indexed
         artifact must exist on disk with a valid manifest, its payload, and
-        its declared content hash; every object reference must resolve to a
-        blob of the declared size with an accurate reference count; and no
-        orphaned blobs or artifact directories may remain.
+        its declared content hash; every AOT module sidecar must match its
+        manifest sha256 *and* pass the generated-module AST sanitizer
+        (:func:`repro.analysis.sanitizer.verify_aot_source`); every object
+        reference must resolve to a blob of the declared size with an
+        accurate reference count; and no orphaned blobs or artifact
+        directories may remain.
         """
         problems: List[str] = []
         try:
@@ -586,6 +591,20 @@ class ArtifactStore:
                 if not module.exists():
                     problems.append(
                         f"artifact {aid}: missing aot module {ameta['file']}"
+                    )
+                    continue
+                declared = ameta.get("sha256")
+                if declared and file_sha256(module) != declared:
+                    problems.append(
+                        f"artifact {aid}: aot module {ameta['file']} content "
+                        "does not match its manifest sha256 (tampered?)"
+                    )
+                    continue
+                try:
+                    verify_aot_source(module.read_text(), filename=module)
+                except SanitizerError as e:
+                    problems.append(
+                        f"artifact {aid}: aot module failed sanitizing: {e}"
                     )
             for sha in meta["objects"]:
                 counted[sha] = counted.get(sha, 0) + 1

@@ -4,6 +4,8 @@ from __future__ import annotations
 __all__ = [
     "ReproError", "OOMError", "CompileError", "ScheduleError", "FormatError",
     "StoreError", "StoreFormatError", "ServingError", "TenantBudgetError",
+    "AnalysisError", "WriteHazard", "IllegalCSE", "UnsupportedEinsum",
+    "SanitizerError",
 ]
 
 
@@ -61,6 +63,61 @@ class TenantBudgetError(ServingError):
             f"tenant {tenant!r} over budget: charged {charged} bytes of a "
             f"{budget}-byte compile budget — request refused at admission"
         )
+
+
+class AnalysisError(ReproError):
+    """Base class of the static-analysis diagnostics (:mod:`repro.analysis`).
+
+    Every analysis error carries a ``provenance`` — a
+    :class:`repro.analysis.report.Provenance` chain naming the statement,
+    the tensor and the loop variables (derived → underlying) the
+    diagnostic is anchored to — so a rejected program points at *where*
+    the hazard lives, not just that one exists."""
+
+    def __init__(self, message: str, provenance=None):
+        self.provenance = provenance
+        if provenance is not None:
+            message = f"{message} [{provenance}]"
+        super().__init__(message)
+
+
+class WriteHazard(AnalysisError):
+    """A statement reads a tensor it also writes (an intra-statement
+    RAW/WAR conflict the runtime would execute with undefined results) —
+    e.g. ``a(i) += B(i, j) * a(j)``.  SpAdd-assembled statements are
+    exempt: their execution snapshots operand arrays before the output's
+    pattern is installed (see ``CompiledKernel._execute_spadd``)."""
+
+
+class IllegalCSE(AnalysisError):
+    """Two statements share a kernel fingerprint but may not collapse to
+    one execution: a statement between them writes a tensor the earlier
+    occurrence touches, so the later occurrence reads different values.
+    Surfaced as a warning-severity diagnostic by ``Program.analyze()``;
+    :func:`repro.core.program.compile_program` consults the same analysis
+    and executes both occurrences."""
+
+
+class UnsupportedEinsum(AnalysisError):
+    """The statement (or its schedule) is outside what the compiler can
+    lower — detected statically instead of failing mid-lowering with an
+    opaque :class:`CompileError` (e.g. a generic-engine statement with a
+    sparse output and no pattern source, or a non-zero distributed
+    variable combined with further distributed loops)."""
+
+
+class SanitizerError(StoreError):
+    """Store-seeded AOT module source failed verification and was refused
+    before ``exec`` — a hash mismatch against the manifest, or source
+    outside the generated-module allowlist (smuggled imports, dunder
+    access, I/O, module-level mutation).  Carries the offending path and,
+    for AST findings, the exact source line."""
+
+    def __init__(self, path, message: str, *, line=None):
+        self.path = str(path)
+        self.line = line
+        at = f":{line}" if line is not None else ""
+        super().__init__(f"{self.path}{at}: {message}")
 
 
 class StoreFormatError(StoreError):

@@ -87,6 +87,43 @@ def sibling():
     assert [v.line for v in found] == [10], [str(v) for v in found]
 
 
+def test_serving_rule_watches_the_server_state():
+    # satellite of the serving layer: the Server's tenant/catalog state
+    # is a watched target with the same discipline as the caches
+    rules = lock_check.WATCH["src/repro/api/serving.py"]
+    watched = {t for rule in rules for t in rule.targets}
+    assert {"self._catalog", "self._tenants", "self._building"} <= watched
+    assert all(rule.lock == "self._lock" for rule in rules)
+
+
+def test_serving_rule_flags_unlocked_server_mutations():
+    # Exact-line negatives against a synthetic Server: the serving rule
+    # applied to a source that drops the lock must point at every
+    # mutation site, and only those.
+    rules = lock_check.WATCH["src/repro/api/serving.py"]
+    source = """
+class Server:
+    def __init__(self):
+        self._catalog = {}             # exempt: constructor
+        self._tenants = {}
+        self._lock = None
+    def register(self, name, entry):
+        self._catalog[name] = entry    # violation: unlocked subscript
+    def evict(self, tenant):
+        self._tenants.pop(tenant)      # violation: mutating call
+        with self._lock:
+            self._building.clear()     # ok: under the designated lock
+    def count(self):
+        self.compiles += 1             # violation: augmented assign
+        return len(self._catalog)      # read: never flagged
+"""
+    found = lock_check.check_source(source, rules)
+    assert sorted(v.line for v in found) == [8, 10, 14], (
+        [str(v) for v in found]
+    )
+    assert all(v.lock == "self._lock" for v in found)
+
+
 def test_checker_ignores_reads_and_module_level_init():
     rules = [lock_check.Rule(targets=("_shared",), lock="_LOCK")]
     source = """

@@ -41,11 +41,15 @@ REQUIRED_EXPORTS = [
     "compile_kernel", "compile_program",
     # codegen backend knobs
     "set_codegen_backend", "codegen_backend", "codegen_stats",
+    # static analysis
+    "analyze_program", "AnalysisReport",
     # formats
     "Format", "CSR", "CSC", "CSF3", "DDC",
     "DENSE_MATRIX", "DENSE_VECTOR", "SPARSE_VECTOR",
     # errors
     "ReproError", "CompileError", "ScheduleError", "FormatError", "OOMError",
+    "AnalysisError", "WriteHazard", "IllegalCSE", "UnsupportedEinsum",
+    "SanitizerError",
 ]
 
 
@@ -56,8 +60,8 @@ def _import_repro():
     return repro
 
 
-def check_exports() -> int:
-    """The documented surface is exported, resolvable and documented."""
+def export_problems() -> list:
+    """Every problem with the exported surface (empty = clean)."""
     repro = _import_repro()
     problems = []
     exported = set(getattr(repro, "__all__", ()))
@@ -79,34 +83,52 @@ def check_exports() -> int:
             doc = type(obj).__doc__
         if not doc or not doc.strip():
             problems.append(f"repro.{name} has no docstring")
+    return problems
+
+
+def check_exports() -> int:
+    """The documented surface is exported, resolvable and documented."""
+    problems = export_problems()
     if problems:
         for p in problems:
             print(f"FAIL: {p}")
         return 1
+    exported = set(getattr(_import_repro(), "__all__", ()))
     print(f"exports: {len(exported)} names, all resolve and are documented "
           f"({len(REQUIRED_EXPORTS)} required present)")
     return 0
 
 
-def check_examples() -> int:
-    """Every example runs clean under PYTHONPATH=src."""
+def example_failures() -> list:
+    """(script name, failure detail) for every example that does not run
+    clean under ``PYTHONPATH=src`` (empty = all clean)."""
     env = os.environ.copy()
     env["PYTHONPATH"] = os.pathsep.join(
         [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
     )
-    rc = 0
+    failures = []
     for script in sorted(EXAMPLES.glob("*.py")):
         proc = subprocess.run(
             [sys.executable, str(script)], env=env,
             capture_output=True, text=True, timeout=600,
         )
         if proc.returncode != 0:
-            print(f"FAIL: {script.name} exited {proc.returncode}:\n"
-                  f"{proc.stdout}\n{proc.stderr}")
-            rc = 1
-        else:
+            failures.append((
+                script.name,
+                f"exited {proc.returncode}:\n{proc.stdout}\n{proc.stderr}",
+            ))
+    return failures
+
+
+def check_examples() -> int:
+    """Every example runs clean under PYTHONPATH=src."""
+    failures = example_failures()
+    for name, detail in failures:
+        print(f"FAIL: {name} {detail}")
+    if not failures:
+        for script in sorted(EXAMPLES.glob("*.py")):
             print(f"examples: {script.name} ran clean")
-    return rc
+    return 1 if failures else 0
 
 
 def main(argv=None) -> int:

@@ -180,6 +180,42 @@ def check_warmstart(write: bool, threshold: float) -> int:
     )
 
 
+def _sanitize_store_aot(store) -> int:
+    """Run the AOT sanitizer + sha256 check over every module in ``store``.
+
+    Returns the number of modules checked, or -1 (after printing FAIL
+    lines) when any module is tampered or outside the allowlist — the
+    unconditional contract that what a bench run just wrote is exactly
+    what a warm start may exec-load.
+    """
+    from repro.analysis.sanitizer import verify_aot_source
+    from repro.core.store import file_sha256, read_manifest
+    from repro.errors import SanitizerError
+
+    checked, failures = 0, []
+    for entry in store.entries():
+        art_dir = store.root / entry["dir"]
+        manifest = read_manifest(art_dir)
+        for meta in manifest.get("aot_modules", ()):
+            module = art_dir / meta["file"]
+            checked += 1
+            declared = meta.get("sha256")
+            if declared and file_sha256(module) != declared:
+                failures.append(
+                    f"{module}: content does not match manifest sha256"
+                )
+                continue
+            try:
+                verify_aot_source(module.read_text(), filename=module)
+            except SanitizerError as e:
+                failures.append(str(e))
+    if failures:
+        for f in failures:
+            print(f"FAIL: aot sanitizer: {f}")
+        return -1
+    return checked
+
+
 # --------------------------------------------------------------------------- #
 # scenario: figures (warm-started figure drivers + store integrity)
 # --------------------------------------------------------------------------- #
@@ -239,6 +275,17 @@ def check_figures(write: bool, threshold: float) -> int:
         if problems:
             print("FAIL: store integrity: " + "; ".join(problems))
             return 1
+        # Unconditional sanitizer contract: every AOT module this run just
+        # wrote must pass the exec-load allowlist and match its manifest
+        # sha256 (over and above verify(), which also checks this — the
+        # explicit pass reports how many modules the contract covered;
+        # figure stores that pack only operand tensors legitimately
+        # report 0).
+        sanitized = _sanitize_store_aot(store)
+        if sanitized < 0:
+            return 1
+        print(f"figures: {sanitized} freshly written AOT modules pass the "
+              "exec-load sanitizer")
         unresolved = [e["id"] for e in store.entries()
                       if store.resolve(e["keys"][0]) is None]
         if unresolved:
@@ -402,6 +449,9 @@ def check_codegen(write: bool, threshold: float) -> int:
     # any baseline: bit-identical values and simulated metrics, a >= 2x
     # leaf-sweep acceptance floor, and a warm start that re-seeds the
     # generated module from the artifact store with zero lowering work.
+    # The warm leg runs through load_packed, so store_seeded >= 1 also
+    # certifies the re-seeded source passed the AOT sanitizer + sha256
+    # check (repro.analysis.sanitizer) before it was exec-loaded.
     failures = []
     if not result.values_bit_identical:
         failures.append("output values differ between backends")

@@ -1,0 +1,392 @@
+#!/usr/bin/env python
+"""Unified static-check runner: every repo invariant, one entry point.
+
+The repo grew its invariants one ad-hoc script at a time — lock
+discipline (``lock_check.py``), docstring coverage (``docs_check.py``),
+the exported API surface and runnable examples (``api_check.py``).  This
+runner turns each into a *plugin* sharing one AST/source cache and one
+findings model, and adds two codebase passes of its own:
+
+* **nondet** — a nondeterminism lint over the compute layers
+  (``src/repro/kernels``, ``src/repro/codegen``): unseeded
+  ``np.random`` / ``random`` usage and wall-clock reads
+  (``time.time``/``perf_counter``, ``datetime.now``) are flagged with
+  exact lines, because generated kernels and their templates must be
+  reproducible functions of their inputs;
+* **aot-sanitizer** — every lowering template combination must pass the
+  generated-module AST allowlist (:mod:`repro.analysis.sanitizer`), so
+  the verifier that guards store exec-loads can never drift out of sync
+  with what the emitter produces.
+
+Every finding is ``file:line: message``; plugins report a one-line
+summary when clean.  Usage::
+
+    PYTHONPATH=src python tools/check.py             # fast default set
+    PYTHONPATH=src python tools/check.py --all       # + slow plugins
+    PYTHONPATH=src python tools/check.py --list
+    PYTHONPATH=src python tools/check.py --only lock,nondet
+    PYTHONPATH=src python tools/check.py --json
+
+``tests/tools/test_check_runner.py`` wires the fast set into tier-1.
+The legacy scripts keep working standalone; they are thin shells over
+the same functions this runner imports.
+"""
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+TOOLS = REPO / "tools"
+SRC = REPO / "src"
+if str(TOOLS) not in sys.path:
+    sys.path.insert(0, str(TOOLS))
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+JSON_SCHEMA_VERSION = 1
+
+__all__ = [
+    "Finding", "CheckResult", "Plugin", "PLUGINS", "SourceCache",
+    "run_checks", "main",
+]
+
+
+# --------------------------------------------------------------------- #
+# findings model
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Finding:
+    """One exact-line problem reported by a plugin."""
+
+    file: str  #: repo-relative path ("-" for repo-level findings)
+    line: Optional[int]
+    message: str
+
+    def __str__(self) -> str:
+        at = f":{self.line}" if self.line is not None else ""
+        return f"{self.file}{at}: {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {"file": self.file, "line": self.line, "message": self.message}
+
+
+@dataclass
+class CheckResult:
+    """The outcome of one plugin run."""
+
+    name: str
+    findings: List[Finding] = field(default_factory=list)
+    summary: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "summary": self.summary,
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+
+class SourceCache:
+    """Parse each checked file once, share text + AST across plugins."""
+
+    def __init__(self, repo: Path = REPO):
+        self.repo = repo
+        self._cache: Dict[str, Tuple[str, ast.Module]] = {}
+
+    def get(self, relpath: str) -> Tuple[str, ast.Module]:
+        if relpath not in self._cache:
+            text = (self.repo / relpath).read_text()
+            self._cache[relpath] = (text, ast.parse(text, filename=relpath))
+        return self._cache[relpath]
+
+
+@dataclass(frozen=True)
+class Plugin:
+    """One registered check: a name, a blurb, and a runner."""
+
+    name: str
+    description: str
+    run: Callable[[SourceCache], CheckResult]
+    slow: bool = False  #: excluded from the default set (subprocesses etc.)
+
+
+# --------------------------------------------------------------------- #
+# wrapped legacy checks
+# --------------------------------------------------------------------- #
+def _run_lock(cache: SourceCache) -> CheckResult:
+    import lock_check
+
+    findings = []
+    for relpath, rules in lock_check.WATCH.items():
+        text, tree = cache.get(relpath)
+        checker = lock_check._Checker(rules, relpath)
+        checker.visit(tree)
+        for v in checker.violations:
+            findings.append(Finding(
+                v.file, v.line,
+                f"{v.context} mutates {v.target} outside "
+                f"`with {v.lock}:`",
+            ))
+    watched = sum(
+        len(r.targets) for rules in lock_check.WATCH.values() for r in rules
+    )
+    return CheckResult(
+        "lock", findings,
+        f"{watched} watched targets across {len(lock_check.WATCH)} files, "
+        "every mutation under its designated lock",
+    )
+
+
+def _run_docs(cache: SourceCache) -> CheckResult:
+    import docs_check
+
+    offenders = docs_check.check(docs_check.DEFAULT_ROOT, min_words=3)
+    findings = [
+        Finding(str(path.relative_to(REPO)), 1, why)
+        for path, why in offenders
+    ]
+    n = sum(
+        1 for p in docs_check.DEFAULT_ROOT.rglob("*.py")
+        if docs_check.is_public(p, docs_check.DEFAULT_ROOT)
+    )
+    return CheckResult("docs", findings, f"{n} public modules documented")
+
+
+def _run_exports(cache: SourceCache) -> CheckResult:
+    import api_check
+
+    findings = [
+        Finding("src/repro/__init__.py", None, p)
+        for p in api_check.export_problems()
+    ]
+    return CheckResult(
+        "exports", findings,
+        f"{len(api_check.REQUIRED_EXPORTS)} required exports resolve and "
+        "are documented",
+    )
+
+
+def _run_examples(cache: SourceCache) -> CheckResult:
+    import api_check
+
+    findings = [
+        Finding(f"examples/{name}", None, detail)
+        for name, detail in api_check.example_failures()
+    ]
+    n = len(list(api_check.EXAMPLES.glob("*.py")))
+    return CheckResult(
+        "examples", findings, f"{n} examples ran clean under PYTHONPATH=src"
+    )
+
+
+# --------------------------------------------------------------------- #
+# nondeterminism lint (new)
+# --------------------------------------------------------------------- #
+#: directories whose code must be a pure function of its inputs.
+NONDET_ROOTS = ("src/repro/kernels", "src/repro/codegen")
+
+#: attribute chains whose *call* (or use) injects nondeterminism.
+_WALLCLOCK_CALLS = {
+    ("time", "time"), ("time", "perf_counter"), ("time", "monotonic"),
+    ("time", "process_time"), ("time", "time_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("date", "today"),
+}
+
+
+def _dotted(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _scan_nondet(relpath: str, tree: ast.Module) -> List[Finding]:
+    findings = []
+    # only flag maximal attribute chains, so np.random.random(...) yields
+    # one finding rather than one per nested Attribute node
+    inner = {
+        id(node.value) for node in ast.walk(tree)
+        if isinstance(node, ast.Attribute)
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and id(node) not in inner:
+            dotted = _dotted(node)
+            if dotted is None:
+                continue
+            # unseeded randomness: any np.random.* reference that is not
+            # the construction of an explicitly seeded Generator.
+            if "random" in dotted[:-1] or dotted[-1] == "random":
+                if dotted[-1] in ("default_rng", "Generator", "SeedSequence"):
+                    continue  # seeded-generator construction is the fix
+                findings.append(Finding(
+                    relpath, node.lineno,
+                    f"unseeded randomness: {'.'.join(dotted)} — kernels and "
+                    "codegen must be deterministic (pass a seeded "
+                    "np.random.Generator instead)",
+                ))
+        elif isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            if tuple(dotted[-2:]) in _WALLCLOCK_CALLS:
+                findings.append(Finding(
+                    relpath, node.lineno,
+                    f"wall-clock read: {'.'.join(dotted)}() — generated "
+                    "kernels/templates must not depend on the clock",
+                ))
+    return findings
+
+
+def _run_nondet(cache: SourceCache) -> CheckResult:
+    findings: List[Finding] = []
+    scanned = 0
+    for root in NONDET_ROOTS:
+        for path in sorted((REPO / root).rglob("*.py")):
+            relpath = str(path.relative_to(REPO))
+            _, tree = cache.get(relpath)
+            findings.extend(_scan_nondet(relpath, tree))
+            scanned += 1
+    return CheckResult(
+        "nondet", findings,
+        f"{scanned} modules under {', '.join(NONDET_ROOTS)} free of "
+        "unseeded randomness and wall-clock reads",
+    )
+
+
+# --------------------------------------------------------------------- #
+# AOT sanitizer self-consistency (new)
+# --------------------------------------------------------------------- #
+def _run_aot_sanitizer(cache: SourceCache) -> CheckResult:
+    """Every emittable template must pass the exec-load allowlist."""
+    import itertools
+
+    from repro.analysis.sanitizer import verify_aot_source
+    from repro.codegen import lowering
+    from repro.errors import SanitizerError
+
+    findings = []
+    checked = 0
+    kinds = ("spmv", "spmm", "sddmm", "spttv", "spmttkrp")
+    fmts = ("csr", "csf", "ddc", "dense")
+    strategies = ("rows", "nonzeros", "grid")
+    for kind, fmt, strategy in itertools.product(kinds, fmts, strategies):
+        try:
+            source = lowering.emit_source(kind, fmt, strategy)
+        except Exception:
+            continue  # combination not emittable — nothing to exec-load
+        checked += 1
+        try:
+            verify_aot_source(source, filename=f"{kind}/{fmt}/{strategy}")
+        except SanitizerError as e:
+            findings.append(Finding(
+                "src/repro/codegen/lowering.py", None,
+                f"template {kind}/{fmt}/{strategy} fails the sanitizer "
+                f"allowlist: {e}",
+            ))
+    return CheckResult(
+        "aot-sanitizer", findings,
+        f"{checked} generated templates pass the exec-load allowlist",
+    )
+
+
+# --------------------------------------------------------------------- #
+# registry + CLI
+# --------------------------------------------------------------------- #
+PLUGINS: List[Plugin] = [
+    Plugin("lock", "shared state mutates only under its designated lock",
+           _run_lock),
+    Plugin("docs", "every public module carries a real docstring",
+           _run_docs),
+    Plugin("exports", "repro.__all__ matches the documented API surface",
+           _run_exports),
+    Plugin("nondet", "kernels/codegen free of unseeded RNG and wall-clock",
+           _run_nondet),
+    Plugin("aot-sanitizer", "lowering templates pass the exec-load allowlist",
+           _run_aot_sanitizer),
+    Plugin("examples", "every examples/*.py runs clean (subprocesses)",
+           _run_examples, slow=True),
+]
+
+
+def run_checks(names: Optional[List[str]] = None) -> List[CheckResult]:
+    """Run the named plugins (default: all fast ones) over one shared
+    source cache; returns their results in registry order."""
+    by_name = {p.name: p for p in PLUGINS}
+    if names is None:
+        selected = [p for p in PLUGINS if not p.slow]
+    else:
+        unknown = [n for n in names if n not in by_name]
+        if unknown:
+            raise KeyError(
+                f"unknown check(s) {unknown}; available: {sorted(by_name)}"
+            )
+        selected = [by_name[n] for n in names]
+    cache = SourceCache()
+    return [p.run(cache) for p in selected]
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="unified static-check runner (see module docstring)"
+    )
+    ap.add_argument("--list", action="store_true",
+                    help="list registered plugins and exit")
+    ap.add_argument("--only", type=str, default=None,
+                    help="comma-separated plugin names to run")
+    ap.add_argument("--all", action="store_true",
+                    help="include slow plugins (examples subprocesses)")
+    ap.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit results as a stable JSON document")
+    args = ap.parse_args(argv)
+
+    if args.list:
+        for p in PLUGINS:
+            tag = " [slow]" if p.slow else ""
+            print(f"{p.name:14s} {p.description}{tag}")
+        return 0
+
+    if args.only:
+        names = [n.strip() for n in args.only.split(",") if n.strip()]
+    elif args.all:
+        names = [p.name for p in PLUGINS]
+    else:
+        names = None  # fast default set
+    try:
+        results = run_checks(names)
+    except KeyError as e:
+        print(f"check: {e.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.as_json:
+        print(json.dumps({
+            "version": JSON_SCHEMA_VERSION,
+            "ok": all(r.ok for r in results),
+            "checks": [r.to_json() for r in results],
+        }, indent=2))
+    else:
+        for r in results:
+            if r.ok:
+                print(f"OK   {r.name}: {r.summary}")
+            else:
+                for f in r.findings:
+                    print(f"FAIL {r.name}: {f}")
+    return 0 if all(r.ok for r in results) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -89,6 +89,19 @@ WATCH = {
     "src/repro/codegen/registry.py": (
         Rule(targets=("_counters", "_jit_state", "_inflight"), lock="_LOCK"),
     ),
+    # The multi-tenant server: tensor catalog, pre-warmed session entries,
+    # the single-flight map, per-tenant budget/stat records and the compile
+    # counter are all mutated by request threads and must stay under the
+    # server lock (docs/serving.md).
+    "src/repro/api/serving.py": (
+        Rule(
+            targets=("self._catalog", "self._entries", "self._building",
+                     "self._tenants", "self.compiles"),
+            lock="self._lock",
+            scope="Server",
+            exempt=("__init__",),
+        ),
+    ),
 }
 
 
