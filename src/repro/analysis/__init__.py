@@ -20,8 +20,14 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..errors import (
-    AnalysisError, IllegalCSE, SanitizerError, UnsupportedEinsum, WriteHazard,
+    AnalysisError, IllegalCSE, IncoherentDistribution, MissingCommunicate,
+    RedundantCommunicate, SanitizerError, UnsupportedEinsum, WriteHazard,
 )
+from .commplan import (
+    CommPlan, MetricsSignature, commplan_diagnostics, communication_plan,
+    measured_signature, predict_metrics,
+)
+from .costmodel import CostEstimate, kernel_work_model, predict_cost
 from .cse import cse_reuse_map
 from .hazards import Dependence, DependenceGraph, build_graph, detect_hazards
 from .privileges import (
@@ -38,20 +44,37 @@ __all__ = [
     "statement_privileges", "program_privileges",
     "Dependence", "DependenceGraph", "build_graph", "detect_hazards",
     "cse_reuse_map", "analyze_program",
+    "CommPlan", "MetricsSignature", "predict_metrics", "communication_plan",
+    "measured_signature", "commplan_diagnostics",
+    "CostEstimate", "kernel_work_model", "predict_cost",
     "aot_trusted", "verify_aot_source",
     "ALLOWED_IMPORT_ROOTS", "FORBIDDEN_NAMES",
     "AnalysisError", "WriteHazard", "IllegalCSE", "UnsupportedEinsum",
+    "RedundantCommunicate", "MissingCommunicate", "IncoherentDistribution",
     "SanitizerError",
 ]
 
 
-def analyze_program(targets: Sequence, machine=None) -> AnalysisReport:
+def analyze_program(
+    targets: Sequence, machine=None, *, cost: bool = False, runtime=None,
+) -> AnalysisReport:
     """Statically analyze a program (a sequence of schedules/assignments).
 
     Returns the full :class:`AnalysisReport`: privilege sets, dependence
     graph, WriteHazard / UnsupportedEinsum / IllegalCSE diagnostics, and
     the CSE reuse map ``compile_program`` consults.  Never executes or
     compiles anything.
+
+    With ``cost=True`` the static communication planner additionally runs
+    over each statement: schedules are *compiled* (through the ordinary
+    kernel cache — still nothing executes), ``report.predictions`` holds
+    each statement's predicted metrics signature, and the diagnostics
+    gain the planner's coherence findings (redundant/missing
+    ``communicate`` placements, privilege-incoherent distributions).
+    Statements the compiler rejects are skipped — the hazard analyzer
+    already reports them as ``UnsupportedEinsum``.  Pass ``runtime`` when
+    tensors were placed by ``repro.distal`` so the planner sees their
+    real home placements.
     """
     from ..legion.machine import Machine
     from ..taco.schedule import Schedule
@@ -73,4 +96,23 @@ def analyze_program(targets: Sequence, machine=None) -> AnalysisReport:
         report.diagnostics.extend(cse_diags)
     else:
         report.reuse_map = [None] * len(schedules)
+    if cost:
+        from ..errors import CompileError, OOMError, ScheduleError
+        from .commplan import communication_plan, commplan_diagnostics
+
+        for n, sched in enumerate(schedules):
+            if report.reuse_map[n] is not None:
+                report.predictions.append(None)
+                continue
+            try:
+                plan = communication_plan(sched, machine, runtime=runtime)
+            except (CompileError, ScheduleError, OOMError):
+                # rejected schedules are already UnsupportedEinsum findings;
+                # an OOMing plan has no signature to report.
+                report.predictions.append(None)
+                continue
+            report.predictions.append(plan.signature)
+            report.diagnostics.extend(commplan_diagnostics(
+                sched, machine, runtime=runtime, statement=n, plan=plan,
+            ))
     return report

@@ -72,6 +72,11 @@ class AnalysisReport:
     #: per statement, the earlier identical statement CSE may collapse it
     #: into (None where it must execute) — what ``compile_program`` consults.
     reuse_map: List[Optional[int]] = field(default_factory=list)
+    #: with ``analyze_program(..., cost=True)``: per statement, the
+    #: statically predicted metrics signature
+    #: (:class:`repro.analysis.commplan.MetricsSignature`), or None where
+    #: the statement is CSE-collapsed or could not be compiled.
+    predictions: List[Optional[object]] = field(default_factory=list)
 
     @property
     def errors(self) -> List[Diagnostic]:

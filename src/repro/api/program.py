@@ -127,8 +127,8 @@ class Program:
             for s in self.statements
         ]
 
-    def analyze(self):
-        """Statically analyze the recorded statements without compiling.
+    def analyze(self, *, cost: bool = False):
+        """Statically analyze the recorded statements without executing.
 
         Returns an :class:`repro.analysis.AnalysisReport`: per-statement
         read/write privilege sets, the RAW/WAR/WAW statement dependence
@@ -136,12 +136,22 @@ class Program:
         errors, ``IllegalCSE`` warnings) and the common-subexpression
         reuse map that :meth:`compile` with ``cse=True`` will execute —
         the same analysis, so what the report proves is what runs.
+
+        With ``cost=True`` the static communication planner additionally
+        vets every statement (compiling through the kernel cache, still
+        never executing): ``report.predictions`` carries each statement's
+        predicted metrics signature and the diagnostics gain
+        redundant/missing ``communicate`` and incoherent-distribution
+        findings (see :mod:`repro.analysis.commplan`).
         """
         if not self.statements:
             raise ValueError("the program has no statements")
         from ..analysis import analyze_program
 
-        return analyze_program(self.schedules(), self.session.machine)
+        return analyze_program(
+            self.schedules(), self.session.machine,
+            cost=cost, runtime=self.session.runtime if cost else None,
+        )
 
     def compile(self, *, use_cache: bool = True, cse: bool = True) -> CompiledProgram:
         """Compile all recorded statements together (shared operands'

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -50,12 +50,20 @@ Schedulable = Union[Schedule, Assignment, Tensor]
 
 @dataclass
 class AutotuneCandidate:
-    """One strategy's timed trials inside a :meth:`Session.autotune` search."""
+    """One strategy's timed trials inside a :meth:`Session.autotune` search.
+
+    Under ``autotune(prune=True)`` every candidate also carries the static
+    cost model's ``predicted_seconds``; candidates the predicted ranking
+    eliminated have ``pruned=True`` and NaN ``simulated_seconds`` — they
+    were never trial-executed.
+    """
 
     strategy: str
     simulated_seconds: float
     comm_bytes: float = 0.0
     oom: bool = False
+    predicted_seconds: Optional[float] = None
+    pruned: bool = False
 
     @property
     def ok(self) -> bool:
@@ -80,6 +88,9 @@ class AutotuneResult:
     candidates: List[AutotuneCandidate] = field(default_factory=list)
     trials_run: int = 0
     from_cache: bool = False
+    #: True when the static cost model ranked the pool and only the
+    #: predicted best was trial-executed (``autotune(prune=True)``).
+    pruned: bool = False
 
     @property
     def simulated_seconds(self) -> float:
@@ -317,6 +328,7 @@ class Session:
         trials: int = 2,
         force: bool = False,
         warm: bool = True,
+        prune: bool = False,
     ):
         """Search the schedule-family space for ``target`` and keep the winner.
 
@@ -340,7 +352,19 @@ class Session:
         **zero** search trials (``force=True`` re-searches anyway).
         ``strategies=`` restricts the pool for a one-off *measurement*:
         the constrained search bypasses (and never writes) the decision
-        table, so it cannot become family policy.  With ``warm`` (default)
+        table, so it cannot become family policy.
+
+        ``prune=True`` ranks the compiled candidates with the static cost
+        model (:func:`repro.analysis.predict_cost`) and trial-executes
+        them in predicted order only until one succeeds — normally just
+        the predicted best, so a pool of *n* strategies costs one
+        candidate's trials instead of *n*.  For the specialized kernels
+        the prediction is exact (it mirrors the simulator), so the pruned
+        search provably selects the same winner as the exhaustive one;
+        eliminated candidates appear in ``result.candidates`` with their
+        ``predicted_seconds`` and ``pruned=True``, and the recorded
+        decision keeps the predicted-vs-measured comparison.  With
+        ``warm`` (default)
         the winner executes once on the *session* runtime — searched or
         answered from the table — so its mapping trace is recorded (or
         replayed) where subsequent executions use it; the result lands in
@@ -352,7 +376,7 @@ class Session:
             return [
                 self.autotune(
                     stmt.assignment, strategies=strategies, trials=trials,
-                    force=force, warm=warm,
+                    force=force, warm=warm, prune=prune,
                 )
                 for stmt in target.statements
                 if stmt.explicit_schedule is None
@@ -392,10 +416,7 @@ class Session:
         )
         if not pool:
             raise ValueError("autotune needs at least one candidate strategy")
-        candidates: List[AutotuneCandidate] = []
-        kernels: Dict[str, CompiledKernel] = {}
-        best: Optional[AutotuneCandidate] = None
-        trials_run = 0
+        compiled: List[Tuple[str, CompiledKernel]] = []
         for strategy in pool:
             try:
                 sched = auto_schedule(asg, self.machine, strategy=strategy)
@@ -403,6 +424,37 @@ class Session:
             except ScheduleError:
                 # An inapplicable candidate (e.g. 'nonzeros' with no single
                 # compressed operand) just drops out of the pool.
+                continue
+            compiled.append((strategy, ck))
+        predicted: Dict[str, object] = {}
+        order = compiled
+        if prune and compiled:
+            from ..analysis.costmodel import predict_cost
+
+            for strategy, ck in compiled:
+                predicted[strategy] = predict_cost(
+                    ck, network=self.runtime.network, runtime=self.runtime
+                )
+            # A stable sort keeps pool order (the paper's default first)
+            # on predicted ties — the same tie-break as the exhaustive
+            # search's strict-improvement rule.
+            order = sorted(
+                compiled, key=lambda sc: predicted[sc[0]].seconds
+            )
+        candidates: List[AutotuneCandidate] = []
+        kernels: Dict[str, CompiledKernel] = {}
+        best: Optional[AutotuneCandidate] = None
+        trials_run = 0
+        for strategy, ck in order:
+            est = predicted.get(strategy)
+            if prune and best is not None:
+                # The predicted ranking already placed this candidate
+                # behind a measured winner: record it without executing.
+                candidates.append(AutotuneCandidate(
+                    strategy, float("nan"),
+                    oom=est.oom, predicted_seconds=est.seconds, pruned=True,
+                ))
+                kernels[strategy] = ck
                 continue
             # Candidate isolation: a scratch runtime per strategy, priced
             # under the session's network model.  Placements and traces of
@@ -418,9 +470,15 @@ class Session:
                     seconds.append(trial.simulated_seconds)
                     comm = trial.comm_bytes
                     trials_run += 1
-                cand = AutotuneCandidate(strategy, min(seconds), comm)
+                cand = AutotuneCandidate(
+                    strategy, min(seconds), comm,
+                    predicted_seconds=est.seconds if est is not None else None,
+                )
             except OOMError:
-                cand = AutotuneCandidate(strategy, float("inf"), oom=True)
+                cand = AutotuneCandidate(
+                    strategy, float("inf"), oom=True,
+                    predicted_seconds=est.seconds if est is not None else None,
+                )
             candidates.append(cand)
             kernels[strategy] = ck
             # Strict improvement only: a tie keeps the earlier candidate,
@@ -447,17 +505,29 @@ class Session:
         # nor seed what later executes (and warm-started processes) replay.
         record = key is not None and strategies is None
         if record:
-            _cache.store_decision(key, {
+            decision = {
                 "strategy": best.strategy,
                 "kind": winner.kind,
                 "pieces": len(winner.pieces),
                 "simulated_seconds": best.simulated_seconds,
                 "trials": int(trials),
                 "candidates": {
-                    c.strategy: ("oom" if c.oom else c.simulated_seconds)
+                    c.strategy: (
+                        "oom" if c.oom else
+                        "pruned" if c.pruned else c.simulated_seconds
+                    )
                     for c in candidates
                 },
-            })
+            }
+            if prune:
+                # Keep the predicted-vs-measured comparison auditable: the
+                # static ranking that stood in for the skipped trials.
+                decision["pruned"] = True
+                decision["predicted"] = {
+                    s: ("oom" if predicted[s].oom else predicted[s].seconds)
+                    for s, _ in compiled
+                }
+            _cache.store_decision(key, decision)
         result = AutotuneResult(
             strategy=best.strategy,
             kernel=winner,
@@ -465,6 +535,7 @@ class Session:
             candidates=candidates,
             trials_run=trials_run,
             from_cache=False,
+            pruned=prune,
         )
         if warm:
             # Record the winner's mapping trace on the session runtime so

@@ -57,6 +57,9 @@ class SimResult:
     value: object = None
     #: Distribution strategy the run used (autotuned runner: the winner).
     strategy: Optional[str] = None
+    #: Scratch search trials the autotuned runner executed (None for
+    #: hand-scheduled runs).
+    trials_run: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -340,6 +343,7 @@ def spdistal_autotuned(
     *,
     gpus: Optional[int] = None,
     trials: int = 2,
+    prune: bool = False,
 ) -> SimResult:
     """Autotuned runner: ``Session.autotune`` picks the distribution.
 
@@ -347,7 +351,10 @@ def spdistal_autotuned(
     over ``args``, lets the session search the strategy candidates (rows /
     non-zeros / 2-D grid where applicable), and measures one steady warm
     trial of the winner — the trace-replayed execution later iterations
-    pay.  The returned :class:`SimResult` carries the winning strategy.
+    pay.  The returned :class:`SimResult` carries the winning strategy and
+    the number of scratch search trials executed; ``prune=True`` forwards
+    to ``Session.autotune(prune=True)`` (static cost ranking, only the
+    predicted best trial-executes).
     """
     cfg = cfg or default_config()
     from ..api.session import Session
@@ -356,7 +363,7 @@ def spdistal_autotuned(
         machine = _machine(cfg, nodes, gpus)
         out = _autotune_statement(kind, args)
         with Session(machine=machine, network=cfg.legion_network()) as s:
-            tuned = s.autotune(out, trials=trials)
+            tuned = s.autotune(out, trials=trials, prune=prune)
             res = s.execute(out)  # steady trial: the winner's trace replays
             value = (
                 out.dense_array().copy()
@@ -369,6 +376,7 @@ def spdistal_autotuned(
                 res.metrics.total_comm_bytes(),
                 value=value,
                 strategy=tuned.strategy,
+                trials_run=tuned.trials_run,
             )
     except OOMError:
         return SimResult("SpDISTAL-auto", float("inf"), oom=True)

@@ -202,14 +202,14 @@ def _run_serial_isolated(p: ServingBenchParams, machine, data
     for tenant in range(p.tenants):
         clear_caches()
         reset_codegen_stats()
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # nondet: ok measures host serving overhead, not simulated time
         with Session(machine=machine) as s:
             packed = _pack(s, data)
             for r, (label, spec, names, sparse_out) in enumerate(
                     _tenant_stream(p, tenant)):
                 _run_one(s, packed, p, label, spec, names, sparse_out,
                          f"t{tenant}r{r}")
-        total += time.perf_counter() - t0
+        total += time.perf_counter() - t0  # nondet: ok measures host serving overhead, not simulated time
         if tenant == 0:
             first_lowered = codegen_stats()["lowered"]
     return total, first_lowered
@@ -237,7 +237,7 @@ def run_serving_bench(
     results: List = []
     errors: List[BaseException] = []
     lock = threading.Lock()
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # nondet: ok measures host serving overhead, not simulated time
     with Server(machine=machine, workers=p.workers, tune=p.tune,
                 trials=p.trials) as srv:
         for name, arr in data.items():
@@ -267,7 +267,7 @@ def run_serving_bench(
             t.start()
         for t in threads:
             t.join()
-        serving_wall = time.perf_counter() - t0
+        serving_wall = time.perf_counter() - t0  # nondet: ok measures host serving overhead, not simulated time
         if errors:
             raise errors[0]
         server_compiles = srv.compiles

@@ -5,6 +5,7 @@ __all__ = [
     "ReproError", "OOMError", "CompileError", "ScheduleError", "FormatError",
     "StoreError", "StoreFormatError", "ServingError", "TenantBudgetError",
     "AnalysisError", "WriteHazard", "IllegalCSE", "UnsupportedEinsum",
+    "RedundantCommunicate", "MissingCommunicate", "IncoherentDistribution",
     "SanitizerError",
 ]
 
@@ -104,6 +105,32 @@ class UnsupportedEinsum(AnalysisError):
     opaque :class:`CompileError` (e.g. a generic-engine statement with a
     sparse output and no pattern source, or a non-zero distributed
     variable combined with further distributed loops)."""
+
+
+class RedundantCommunicate(AnalysisError):
+    """A ``communicate(tensor, var)`` placement that moves no data: the
+    tensor's derived partition already makes every piece's sub-region
+    resident where it executes (replicated operands, or a distribution
+    that matches the computation), so the placement is dead weight in the
+    schedule.  Surfaced as a warning by the static communication planner
+    (:mod:`repro.analysis.commplan`)."""
+
+
+class MissingCommunicate(AnalysisError):
+    """The static communication plan moves the same region's data to two
+    or more processors with overlapping sub-regions — duplicated transfer
+    a ``communicate`` placement at the distributed loop would hoist into
+    one broadcast.  Surfaced as a warning by the static communication
+    planner (:mod:`repro.analysis.commplan`)."""
+
+
+class IncoherentDistribution(AnalysisError):
+    """A privilege-incoherent distribution: a region placed so its write
+    coherence cannot be maintained — e.g. a streamed (never-resident)
+    tensor holding WRITE or REDUCE privilege, whose round-wise transfers
+    would be discarded before the output is read back.  Surfaced as an
+    error by the static communication planner
+    (:mod:`repro.analysis.commplan`)."""
 
 
 class SanitizerError(StoreError):

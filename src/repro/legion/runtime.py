@@ -664,6 +664,25 @@ class Runtime:
         for proc in {pr for res in self._residency.values() for pr in res.by_proc}:
             self._check_capacity(region, proc)
 
+    def resident_bytes_per_proc(self) -> Dict[int, float]:
+        """Resident bytes per processor, under the capacity model's
+        accounting (8 bytes per resident element, summed over every
+        region's residency pieces — exactly what :meth:`_check_capacity`
+        charges against ``mem_bytes``).  Procs with nothing resident are
+        omitted.  This is the footprint the static communication planner
+        (:mod:`repro.analysis.commplan`) predicts, so both sides of the
+        differential oracle read the same definition.
+        """
+        out: Dict[int, float] = {}
+        for res in self._residency.values():
+            for proc, pieces in res.by_proc.items():
+                if pieces:
+                    out[proc] = (
+                        out.get(proc, 0.0)
+                        + sum(s.volume for s in pieces) * 8.0
+                    )
+        return out
+
     def _check_scratch(
         self, proc: int, scratch: float, reqs: Sequence[RegionReq], color: Color
     ) -> None:

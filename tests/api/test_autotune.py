@@ -301,3 +301,67 @@ class TestPersistenceRoundTrip:
         load_packed(tmp_path / "art")
         decision = _cache.lookup_decision(key)
         assert decision is not None and decision["strategy"] == r.strategy
+
+
+class TestPrunedSearch:
+    """``autotune(prune=True)``: the static cost model stands in for trials.
+
+    The planner's differential oracle (``tests/analysis/test_commplan_oracle.py``)
+    proves predictions equal simulated metrics exactly for the specialized
+    kernels, so the pruned search must select the same winner as the
+    exhaustive one while executing strictly fewer scratch trials.
+    """
+
+    def test_same_winner_strictly_fewer_trials(self):
+        M = load_matrix("kmer_A2a", 0.2)
+        with repro.session(nodes=4) as s:
+            out, *_ = _spmm(s, M)
+            exhaustive = s.autotune(out, trials=1, force=True, warm=False)
+        clear_caches()
+        with repro.session(nodes=4) as s:
+            out, *_ = _spmm(s, M)
+            pruned = s.autotune(out, trials=1, force=True, warm=False,
+                                prune=True)
+        assert pruned.strategy == exhaustive.strategy
+        assert pruned.pruned and not exhaustive.pruned
+        assert 0 < pruned.trials_run < exhaustive.trials_run
+        # every candidate carries its prediction; only the winner measured
+        by = {c.strategy: c for c in pruned.candidates}
+        assert all(c.predicted_seconds is not None
+                   for c in pruned.candidates)
+        winner = by[pruned.strategy]
+        assert not winner.pruned and winner.ok
+        # the model is exact for specialized kernels: the measured winner's
+        # isolated trial equals its prediction to the last bit
+        assert winner.simulated_seconds == winner.predicted_seconds
+        skipped = [c for c in pruned.candidates if c.pruned]
+        assert skipped and all(np.isnan(c.simulated_seconds)
+                               for c in skipped)
+
+    def test_prune_selects_grid_where_exhaustive_does(self):
+        M = striped(2000, 30000, heavy_frac=0.9, seed=9)
+        with repro.session(nodes=4) as s:
+            out, B, C = _spmm(s, M, k=32)
+            r = s.autotune(out, trials=1, prune=True)
+            assert r.strategy == "grid"
+            # prediction ranked grid first: one candidate's trials only
+            assert r.trials_run == 1
+            assert np.allclose(out.dense_array(), M @ C.dense_array())
+
+    def test_pruned_decision_records_predicted_vs_measured(self):
+        with repro.session(nodes=4) as s:
+            a, *_ = _spmv(s, uniform_random(600, 0.02, seed=5))
+            r = s.autotune(a, trials=1, prune=True)
+        decision = _cache.lookup_decision(r.decision_key)
+        assert decision is not None and decision["pruned"] is True
+        # the static ranking that stood in for the skipped trials is
+        # auditable next to the measured winner
+        assert set(decision["predicted"]) == {
+            c.strategy for c in r.candidates
+        }
+        assert decision["candidates"][r.strategy] == r.simulated_seconds
+        for c in r.candidates:
+            if c.pruned:
+                assert decision["candidates"][c.strategy] == "pruned"
+        # drift visibility: predicted winner cost equals the measured one
+        assert decision["predicted"][r.strategy] == r.simulated_seconds

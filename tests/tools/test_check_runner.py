@@ -53,7 +53,7 @@ def test_json_schema_is_stable():
         "checks": [r.to_json() for r in results],
     }
     doc = json.loads(json.dumps(doc))  # round-trips as plain JSON
-    assert doc["version"] == 1
+    assert doc["version"] == 2  # v2: commplan plugin + nondet waivers
     assert set(doc) == {"version", "ok", "checks"}
     for entry in doc["checks"]:
         assert set(entry) == {"name", "ok", "summary", "findings"}
@@ -68,17 +68,34 @@ def test_only_selects_and_rejects_unknown():
         check.run_checks(["no-such-check"])
 
 
+def test_cli_only_unknown_exits_two_listing_names():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check.py"),
+         "--only", "bogus,nondet,also-bogus"],
+        capture_output=True, text=True, cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        timeout=300,
+    )
+    assert proc.returncode == 2, proc.stdout + proc.stderr
+    # the message names every unknown plugin and the registry to pick from
+    assert "bogus" in proc.stderr and "also-bogus" in proc.stderr
+    for p in check.PLUGINS:
+        assert p.name in proc.stderr
+
+
 def test_list_names_every_plugin():
     names = {p.name for p in check.PLUGINS}
     assert {"lock", "docs", "exports", "nondet",
-            "aot-sanitizer", "examples"} <= names
+            "aot-sanitizer", "commplan", "examples"} <= names
+    # the commplan planner coherence sweep runs in the fast (tier-1) set
+    assert "commplan" in {p.name for p in check.PLUGINS if not p.slow}
     # exactly one slow plugin today: the examples subprocess runner
     assert [p.name for p in check.PLUGINS if p.slow] == ["examples"]
 
 
 class TestNondetScanner:
     def _scan(self, source):
-        return check._scan_nondet("fake.py", ast.parse(source))
+        return check._scan_nondet("fake.py", source, ast.parse(source))
 
     def test_flags_unseeded_random_and_wallclock_with_lines(self):
         src = (
@@ -112,6 +129,47 @@ class TestNondetScanner:
             "    out[...] = np.add.reduce(vals)\n"
         )
         assert self._scan(src) == []
+
+    def test_seeded_generator_methods_are_not_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def build(seed, n):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return rng.random(n)\n"
+        )
+        assert self._scan(src) == []
+
+    def test_waiver_with_reason_silences_the_finding(self):
+        src = (
+            "import time\n"
+            "def bench():\n"
+            "    return time.perf_counter()"
+            "  # nondet: ok measures host overhead\n"
+        )
+        assert self._scan(src) == []
+
+    def test_waiver_without_reason_is_itself_a_finding(self):
+        src = (
+            "import time\n"
+            "def bench():\n"
+            "    return time.perf_counter()  # nondet: ok\n"
+        )
+        findings = self._scan(src)
+        assert len(findings) == 1
+        assert "without a reason" in findings[0].message
+
+    def test_scipy_sparse_random_needs_random_state(self):
+        src = (
+            "import scipy.sparse as sp\n"
+            "import numpy as np\n"
+            "def build(n, rng):\n"
+            "    bad = sp.random(n, n, density=0.1)\n"
+            "    good = sp.random(n, n, density=0.1, random_state=rng)\n"
+            "    return bad, good\n"
+        )
+        findings = self._scan(src)
+        assert [f.line for f in findings] == [4]
+        assert "random_state" in findings[0].message
 
 
 def test_legacy_entry_points_still_work():

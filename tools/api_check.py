@@ -42,7 +42,7 @@ REQUIRED_EXPORTS = [
     # codegen backend knobs
     "set_codegen_backend", "codegen_backend", "codegen_stats",
     # static analysis
-    "analyze_program", "AnalysisReport",
+    "analyze_program", "AnalysisReport", "predict_metrics",
     # formats
     "Format", "CSR", "CSC", "CSF3", "DDC",
     "DENSE_MATRIX", "DENSE_VECTOR", "SPARSE_VECTOR",

@@ -387,6 +387,26 @@ def check_autotune(write: bool, threshold: float) -> int:
         if not tuned.ok:
             problems.append(f"{label}: the tuned run OOMed")
             continue
+        # The pruned search (static cost ranking, only the predicted best
+        # trial-executes) must agree with the exhaustive one while doing
+        # strictly less scratch work.
+        clear_caches()
+        pruned = spdistal_autotuned(kind, args, nodes, cfg, gpus=gpus,
+                                    prune=True)
+        if not pruned.ok:
+            problems.append(f"{label}: the pruned tuned run OOMed")
+            continue
+        if pruned.strategy != tuned.strategy:
+            problems.append(
+                f"{label}: pruned search picked {pruned.strategy!r}, "
+                f"exhaustive picked {tuned.strategy!r} — the static cost "
+                "model disagrees with measurement"
+            )
+        if not (pruned.trials_run < tuned.trials_run):
+            problems.append(
+                f"{label}: pruned search ran {pruned.trials_run} trials, "
+                f"not strictly fewer than exhaustive's {tuned.trials_run}"
+            )
         margin = best_hand / tuned.seconds
         margins.append(margin)
         rows.append({
@@ -396,9 +416,14 @@ def check_autotune(write: bool, threshold: float) -> int:
             "best_hand_s": best_hand,
             "hand_s": hand,
             "margin": margin,
+            "exhaustive_trials": tuned.trials_run,
+            "pruned_trials": pruned.trials_run,
+            "pruned_strategy": pruned.strategy,
         })
         print(f"{label}: tuned[{tuned.strategy}] {tuned.seconds:.3e}s vs "
-              f"best hand {best_hand:.3e}s (margin {margin:.3f}x)")
+              f"best hand {best_hand:.3e}s (margin {margin:.3f}x); "
+              f"pruned[{pruned.strategy}] {pruned.trials_run} trials vs "
+              f"exhaustive {tuned.trials_run}")
         if tuned.seconds > best_hand * 1.05:
             problems.append(
                 f"{label}: tuned {tuned.seconds:.3e}s is more than 5% worse "
