@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..core.passes import PassRecord, PipelinePlan, pipeline_plan
 from ..errors import (
     AnalysisError, IllegalCSE, IncoherentDistribution, MissingCommunicate,
     RedundantCommunicate, SanitizerError, UnsupportedEinsum, WriteHazard,
@@ -44,6 +45,7 @@ __all__ = [
     "statement_privileges", "program_privileges",
     "Dependence", "DependenceGraph", "build_graph", "detect_hazards",
     "cse_reuse_map", "analyze_program",
+    "PassRecord", "PipelinePlan", "pipeline_plan",
     "CommPlan", "MetricsSignature", "predict_metrics", "communication_plan",
     "measured_signature", "commplan_diagnostics",
     "CostEstimate", "kernel_work_model", "predict_cost",
@@ -96,6 +98,16 @@ def analyze_program(
         report.diagnostics.extend(cse_diags)
     else:
         report.reuse_map = [None] * len(schedules)
+    try:
+        # What the compile-time pass pipeline would do — reported for
+        # provenance only; the report's privileges/hazards/reuse facts
+        # describe the *source* program the user wrote.
+        report.passes = list(pipeline_plan(schedules, machine).records)
+    except Exception:
+        # Analysis stays usable for programs the pipeline cannot model
+        # (e.g. statements the classifier rejects mid-fusion-probe); the
+        # hazard diagnostics above already explain those.
+        report.passes = []
     if cost:
         from ..errors import CompileError, OOMError, ScheduleError
         from .commplan import communication_plan, commplan_diagnostics

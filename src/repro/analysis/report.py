@@ -77,6 +77,10 @@ class AnalysisReport:
     #: (:class:`repro.analysis.commplan.MetricsSignature`), or None where
     #: the statement is CSE-collapsed or could not be compiled.
     predictions: List[Optional[object]] = field(default_factory=list)
+    #: what the compile-time pass pipeline (:mod:`repro.core.passes`) would
+    #: do to this program — fold/dse/fuse :class:`PassRecord` entries with
+    #: statement provenance, in pass order.
+    passes: List = field(default_factory=list)
 
     @property
     def errors(self) -> List[Diagnostic]:
@@ -106,6 +110,7 @@ class AnalysisReport:
         lines = [p.describe() for p in self.privileges]
         if self.graph is not None:
             lines.append(self.graph.describe())
+        lines.extend(rec.describe() for rec in self.passes)
         lines.extend(str(d) for d in self.diagnostics)
         if not self.diagnostics:
             lines.append("no diagnostics")

@@ -84,7 +84,9 @@ def _sparse_access(asg: Assignment, kind_roles) -> Optional[Access]:
 def auto_strategy(asg: Assignment, machine: Machine) -> str:
     """The synthesized distribution strategy: ``"rows"`` or ``"nonzeros"``."""
     kind = classify(asg).kind
-    if kind == "sddmm":
+    if kind in ("sddmm", "fused_sddmm_spmm"):
+        # The fused SDDMM→SpMM statement inherits SDDMM's statically
+        # load-balanced non-zero split on both processor kinds.
         return "nonzeros"
     if machine.kind == ProcKind.GPU and kind in _GPU_NONZERO_KINDS:
         return "nonzeros"

@@ -11,12 +11,16 @@ sparse matrices, or NumPy arrays (the latter two are packed on the fly).
 Supported subscripts are the product-and-reduce fragment the paper's
 kernels cover: distinct letters per operand, ``,`` between operands, an
 optional ``->`` output (defaulting to NumPy's convention — letters that
-appear exactly once, alphabetically).  Diagonals (repeated letters within
-one operand) and ellipses are outside tensor index notation and raise
-``ValueError``.
+appear exactly once, alphabetically).  Additive specs join operands with
+``+`` instead of ``,`` — ``"ij+ij->ij"`` is elementwise addition; all
+terms (and the output) must carry identical subscripts, and a sparse
+``out=`` executes as the paper's two-phase SpAdd assembly.  Diagonals
+(repeated letters within one operand) and ellipses are outside tensor
+index notation and raise ``ValueError``.
 """
 from __future__ import annotations
 
+import threading
 from functools import reduce
 from typing import Dict, List, Optional, Tuple
 
@@ -28,6 +32,10 @@ from ..taco.tensor import Tensor
 __all__ = ["einsum"]
 
 _implicit_session = None
+#: Guards the check-then-set on ``_implicit_session``: two threads racing
+#: the first sessionless ``einsum`` must agree on one implicit session
+#: (two would split the runtime's mapping traces and the packing memo).
+_SESSION_LOCK = threading.Lock()
 
 
 def _default_session():
@@ -35,13 +43,15 @@ def _default_session():
     when ``einsum`` is called without ``session=``."""
     global _implicit_session
     if _implicit_session is None:
-        from .session import Session
+        with _SESSION_LOCK:
+            if _implicit_session is None:
+                from .session import Session
 
-        _implicit_session = Session()
+                _implicit_session = Session()
     return _implicit_session
 
 
-def _parse_spec(spec: str, n_operands: int) -> Tuple[List[str], str]:
+def _parse_spec(spec: str, n_operands: int) -> Tuple[List[str], str, bool]:
     spec = spec.replace(" ", "")
     if "..." in spec:
         raise ValueError("einsum ellipses are not supported")
@@ -49,7 +59,16 @@ def _parse_spec(spec: str, n_operands: int) -> Tuple[List[str], str]:
         lhs, _, out = spec.partition("->")
     else:
         lhs, out = spec, None
-    inputs = lhs.split(",")
+    additive = "+" in lhs
+    if additive:
+        if "," in lhs:
+            raise ValueError(
+                "einsum additive specs join every operand with '+'; "
+                "mixing ',' and '+' is not supported"
+            )
+        inputs = lhs.split("+")
+    else:
+        inputs = lhs.split(",")
     if len(inputs) != n_operands:
         raise ValueError(
             f"einsum spec {spec!r} names {len(inputs)} operands, "
@@ -66,6 +85,22 @@ def _parse_spec(spec: str, n_operands: int) -> Tuple[List[str], str]:
             )
         for ch in sub:
             seen[ch] = seen.get(ch, 0) + 1
+    if additive:
+        # Addition aligns mode-for-mode: every term names the same
+        # subscripts and the output is exactly those subscripts.
+        if any(sub != inputs[0] for sub in inputs[1:]):
+            raise ValueError(
+                "einsum additive terms must carry identical subscripts "
+                f"(got {'+'.join(inputs)!r})"
+            )
+        if out is None:
+            out = inputs[0]
+        elif out != inputs[0]:
+            raise ValueError(
+                f"einsum additive output must be {inputs[0]!r}, "
+                f"got {out!r}"
+            )
+        return inputs, out, True
     if out is None:
         out = "".join(sorted(ch for ch, n in seen.items() if n == 1))
     else:
@@ -84,7 +119,7 @@ def _parse_spec(spec: str, n_operands: int) -> Tuple[List[str], str]:
             "einsum full reductions (empty output) are not supported; "
             "keep at least one output index"
         )
-    return inputs, out
+    return inputs, out, False
 
 
 def einsum(
@@ -117,10 +152,13 @@ def einsum(
     if autotune and schedule is not None:
         raise ValueError("pass either autotune=True or schedule=, not both")
     s = session if session is not None else _default_session()
-    inputs, out_sub = _parse_spec(spec, len(operands))
+    inputs, out_sub, additive = _parse_spec(spec, len(operands))
 
+    # Content-keyed packing: equal raw operands come back as the *same*
+    # packed tensor objects, so the identity-keyed kernel cache hits on a
+    # repeated call instead of compiling everything again.
     tensors: List[Tensor] = [
-        s.tensor(f"op{k}", op) for k, op in enumerate(operands)
+        s.packed_operand(f"op{k}", op) for k, op in enumerate(operands)
     ]
     ivars: Dict[str, IndexVar] = {}
     sizes: Dict[str, int] = {}
@@ -143,10 +181,25 @@ def einsum(
         Access(t, tuple(ivars[ch] for ch in sub))
         for sub, t in zip(inputs, tensors)
     ]
-    rhs = reduce(lambda a, b: a * b, accesses)
+    rhs = reduce(
+        (lambda a, b: a + b) if additive else (lambda a, b: a * b), accesses
+    )
     out_shape = tuple(sizes[ch] for ch in out_sub)
     if out is None:
-        out = Tensor.zeros(name, out_shape)
+        # The output tensor's identity participates in the kernel
+        # fingerprint too, so a repeated identical einsum must reuse one
+        # output object.  The memo value pins the operand tensors,
+        # keeping the id()-based key collision-free.
+        out_key = (
+            name, tuple(inputs), out_sub, additive,
+            tuple(id(t) for t in tensors), out_shape,
+        )
+        memo = s._einsum_out_memo.get(out_key)
+        if memo is not None:
+            out = memo[1]
+        else:
+            out = Tensor.zeros(name, out_shape)
+            s._einsum_out_memo[out_key] = (tuple(tensors), out)
     elif out.shape != out_shape:
         raise ValueError(
             f"out tensor shape {out.shape} does not match the einsum "

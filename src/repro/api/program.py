@@ -153,19 +153,26 @@ class Program:
             cost=cost, runtime=self.session.runtime if cost else None,
         )
 
-    def compile(self, *, use_cache: bool = True, cse: bool = True) -> CompiledProgram:
+    def compile(self, *, use_cache: bool = True, cse: bool = True,
+                fold: bool = True, dse: bool = True, fuse: bool = True,
+                keep=None) -> CompiledProgram:
         """Compile all recorded statements together (shared operands'
         partitions are derived once, repeated identical statements collapse
-        to one execution — the program-level amortizations)."""
+        to one execution — the program-level amortizations).  The pass
+        pipeline's knobs pass through: ``fold``/``dse``/``fuse`` disable
+        individual passes, ``keep=`` pins tensors (objects or names) that
+        must stay materialized (see :mod:`repro.core.passes`)."""
         if not self.statements:
             raise ValueError("the program has no statements")
         return self.session.compile(
-            *self.schedules(), use_cache=use_cache, cse=cse
+            *self.schedules(), use_cache=use_cache, cse=cse,
+            fold=fold, dse=dse, fuse=fuse, keep=keep,
         )
 
-    def run(self, *, fresh_trial: bool = True) -> ProgramResult:
+    def run(self, *, fresh_trial: bool = True, fold: bool = True,
+            dse: bool = True, fuse: bool = True, keep=None) -> ProgramResult:
         """Compile (cached) and execute every statement in order on the
         session runtime; returns the per-statement results."""
-        return self.compile().execute(
+        return self.compile(fold=fold, dse=dse, fuse=fuse, keep=keep).execute(
             self.session.runtime, fresh_trial=fresh_trial
         )

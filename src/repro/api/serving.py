@@ -474,7 +474,7 @@ class Server:
 
     def _build_entry(self, session: Session, req: _Request) -> _Entry:
         tensors = [self._resolve(tok) for tok in req.operands]
-        inputs, out_sub = _parse_spec(req.spec, len(tensors))
+        inputs, out_sub, additive = _parse_spec(req.spec, len(tensors))
         ivars: Dict[str, IndexVar] = {}
         sizes: Dict[str, int] = {}
         for sub, t in zip(inputs, tensors):
@@ -495,7 +495,7 @@ class Server:
                     for sub, t in zip(inputs, tensors)]
         rhs = accesses[0]
         for acc in accesses[1:]:
-            rhs = rhs * acc
+            rhs = (rhs + acc) if additive else (rhs * acc)
         out_shape = tuple(sizes[ch] for ch in out_sub)
         out = Tensor.zeros(f"serve_out_{len(self._entries)}", out_shape,
                            req.out_format)

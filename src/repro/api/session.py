@@ -22,6 +22,7 @@ session accepts a statement it also accepts a hand-built
 """
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -175,6 +176,16 @@ class Session:
         #: Validated eagerly so a typo fails at session construction.
         self.backend = _codegen.resolve_backend(backend) if backend is not None else None
         self._pending = None  # implicit Program fed by define()
+        #: Content-keyed packing memo (see :meth:`packed_operand`): digest
+        #: of the raw operand → the packed Tensor, so repeated calls over
+        #: equal raw data reuse one tensor *identity* and every
+        #: identity-keyed layer downstream (kernel fingerprints, partition
+        #: memo, mapping traces) hits.
+        self._packed_memo: Dict[str, Tensor] = {}
+        #: einsum output-tensor memo: statement signature → (operand
+        #: tensors, output tensor).  Holding the operands pins their ids
+        #: so a recycled id can never alias a stale key.
+        self._einsum_out_memo: Dict[tuple, tuple] = {}
         #: The :class:`ExecutionResult` of the session's most recent
         #: single-statement execution (``execute``/``einsum``).
         self.last_result: Optional[ExecutionResult] = None
@@ -219,6 +230,58 @@ class Session:
         if hasattr(data, "tocoo"):  # scipy sparse
             return Tensor.from_scipy(name, data, format)
         return Tensor.from_dense(name, np.asarray(data), format)
+
+    def packed_operand(self, name: str, data,
+                       format: Optional[Format] = None) -> Tensor:
+        """Like :meth:`tensor`, but memoized by raw-operand *content*.
+
+        Two calls with equal raw operands — same name, format, shape,
+        dtype and bytes — return the *same* packed :class:`Tensor`
+        object.  Every amortization layer downstream keys on tensor
+        identity (kernel fingerprints, the partition memo, mapping
+        traces), so this is what lets a repeated ``einsum`` over the same
+        raw arrays compile **zero** new kernels.  Operands whose content
+        cannot be digested (already packed tensors pass through; exotic
+        array-likes fall back) just pack fresh, exactly as
+        :meth:`tensor` would.
+        """
+        if isinstance(data, Tensor):
+            return self.tensor(name, data, format)
+        key = self._content_key(name, data, format)
+        if key is None:
+            return self.tensor(name, data, format)
+        hit = self._packed_memo.get(key)
+        if hit is not None:
+            return hit
+        t = self.tensor(name, data, format)
+        self._packed_memo[key] = t
+        return t
+
+    @staticmethod
+    def _content_key(name: str, data, format: Optional[Format]) -> Optional[str]:
+        """A content digest of a raw operand, or None when undigestable.
+
+        SciPy matrices reuse the bench warmstore's digest discipline
+        (name + format + CSR arrays); dense arrays hash name + format +
+        shape + dtype + bytes.
+        """
+        if hasattr(data, "tocoo"):  # scipy sparse
+            from ..bench.warmstore import content_key
+
+            return "sp:" + content_key(name, format, data)
+        try:
+            arr = np.asarray(data)
+        except Exception:
+            return None
+        if arr.dtype.hasobject:
+            return None
+        h = hashlib.sha256()
+        h.update(repr((
+            name, format.name if format is not None else None,
+            arr.shape, arr.dtype.str,
+        )).encode())
+        h.update(np.ascontiguousarray(arr).tobytes())
+        return "np:" + h.hexdigest()
 
     def from_coo(self, name: str, coords, vals, shape,
                  format: Optional[Format] = None) -> Tensor:
@@ -276,22 +339,26 @@ class Session:
         return _cache.lookup_decision(key) if key is not None else None
 
     def compile(self, *targets: Schedulable, use_cache: bool = True,
-                cse: bool = True, backend: Optional[str] = None
-                ) -> CompiledProgram:
+                cse: bool = True, fold: bool = True, dse: bool = True,
+                fuse: bool = True, keep=None,
+                backend: Optional[str] = None) -> CompiledProgram:
         """Compile one or more statements together as a program.
 
         Each target is a :class:`Schedule` (explicit mapping), an
         :class:`Assignment`, or a :class:`Tensor` carrying one (both
-        auto-scheduled).  Shared operands' partitions are derived once
-        across the program, and with ``cse`` (default) identical repeated
-        statements execute once per pass (see
-        :func:`repro.core.program.compile_program`).  ``backend`` overrides
-        the session's leaf-execution backend for this compile
-        ("interp"/"codegen"; see :mod:`repro.codegen`).
+        auto-scheduled).  The pass pipeline (:mod:`repro.core.passes`)
+        runs first — ``fold``/``dse``/``fuse`` disable individual passes,
+        ``keep=`` pins tensors that must stay materialized.  Shared
+        operands' partitions are derived once across the program, and
+        with ``cse`` (default) identical repeated statements execute once
+        per pass (see :func:`repro.core.program.compile_program`).
+        ``backend`` overrides the session's leaf-execution backend for
+        this compile ("interp"/"codegen"; see :mod:`repro.codegen`).
         """
         schedules = [self.schedule_for(t) for t in targets]
         return compile_program(
             schedules, self.machine, use_cache=use_cache, cse=cse,
+            fold=fold, dse=dse, fuse=fuse, keep=keep,
             backend=backend if backend is not None else self.backend,
         )
 

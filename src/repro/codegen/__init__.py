@@ -57,6 +57,7 @@ _STRATEGIES = {
     "spmv": ("rows", "nonzeros"),
     "spmm": ("rows", "nonzeros", "grid"),
     "sddmm": ("rows", "nonzeros"),
+    "fused_sddmm_spmm": ("rows", "nonzeros"),
     "spttv": ("rows", "nonzeros"),
     "spmttkrp": ("rows", "nonzeros"),
 }
@@ -218,6 +219,15 @@ def _bind(module, ck, spec):
         ov = out.vals.data
         pieces = _pos_pieces(ck) if strategy == "nonzeros" else _row_pieces(ck)
         return module.bind(pos, crd, vals, C, D, ov, pieces, Work, jit)
+    if kind == "fused_sddmm_spmm":
+        B = ck.roles["B"].tensor
+        pos, crd, vals = B.csr_arrays()
+        C = ck.roles["C"].tensor.dense_array()
+        D = ck.roles["D"].tensor.dense_array()
+        F = ck.roles["F"].tensor.dense_array()
+        o = out.dense_array()
+        pieces = _pos_pieces(ck) if strategy == "nonzeros" else _row_pieces(ck)
+        return module.bind(pos, crd, vals, C, D, F, o, pieces, Work, jit)
     if kind == "spttv":
         B = ck.roles["B"].tensor
         lvl2 = B.levels[2]

@@ -429,7 +429,14 @@ def kernel_fingerprint(schedule: Schedule, machine) -> Tuple:
     """
     canon = _Canon()
     asg: Assignment = schedule.assignment
-    stmt = ("=", canon.expr(asg.lhs), canon.expr(asg.rhs), asg.accumulate)
+    # A pipeline-synthesized statement carries an explicit kernel class
+    # (repro.core.passes fusion); the marker keeps it from colliding with
+    # a textually identical statement lowered through the generic engine.
+    fused = getattr(asg, "fused_class", None)
+    stmt = (
+        "=", canon.expr(asg.lhs), canon.expr(asg.rhs), asg.accumulate,
+        None if fused is None else fused.kind,
+    )
     rels = []
     for rel in schedule.relations:
         if isinstance(rel, SplitRel):

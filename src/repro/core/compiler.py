@@ -69,6 +69,15 @@ class KernelClass:
 
 def classify(asg: Assignment) -> KernelClass:
     """Match the statement against the specialized kernel patterns."""
+    fused = getattr(asg, "fused_class", None)
+    if fused is not None:
+        # A pipeline-synthesized statement (repro.core.passes) carries its
+        # class explicitly — e.g. "fused_sddmm_spmm", whose 4-access Mul
+        # would otherwise pattern-match nothing.  Honoring it here makes
+        # the compiler, the autoscheduler, the hazard analyzer and the
+        # communication planner all see the fused kind through their
+        # ordinary classify() entry points.
+        return fused
     lhs, rhs = asg.lhs, asg.rhs
     if _cache.is_assembled_output(asg):
         # SpAdd: a sum of aligned accesses into a sparse output whose
@@ -361,7 +370,7 @@ class CompiledKernel:
             # repeated execute must start from zero or it doubles.
             return True
         return self.strategy == "nonzeros" and self.kind in (
-            "spmv", "spmm", "spttv", "spmttkrp",
+            "spmv", "spmm", "spttv", "spmttkrp", "fused_sddmm_spmm",
         )
 
     # -- SpAdd: two-phase assembly (paper §V-B) --------------------------------
@@ -893,6 +902,34 @@ def _build_leaf(ck: CompiledKernel) -> Callable[[Piece], Work]:
         if strategy == "nonzeros":
             return lambda p: K.sddmm_nonzeros(pos, crd, vals, C, D, ov, p.pos[0], p.pos[1])
         return lambda p: K.sddmm_rows(pos, crd, vals, C, D, ov, p.rows[0], p.rows[1])
+    if kind == "fused_sddmm_spmm":
+        # Synthesized by the pass pipeline (repro.core.passes): the SDDMM
+        # product is computed into a scratch values array private to the
+        # leaf and consumed immediately by the SpMM phase — it is never a
+        # region, never placed, never communicated.
+        B = ck.roles["B"].tensor
+        C = ck.roles["C"].tensor.dense_array()
+        D = ck.roles["D"].tensor.dense_array()
+        F = ck.roles["F"].tensor.dense_array()
+        pos, crd, vals = B.csr_arrays()
+        o = out.dense_array()
+        scratch = np.zeros_like(vals)
+        if strategy == "nonzeros":
+            def fused_nonzeros(p: Piece) -> Work:
+                w1 = K.sddmm_nonzeros(pos, crd, vals, C, D, scratch, p.pos[0], p.pos[1])
+                w2 = K.spmm_nonzeros(pos, crd, scratch, F, o, p.pos[0], p.pos[1])
+                return w1 + w2
+
+            return fused_nonzeros
+
+        def fused_rows(p: Piece) -> Work:
+            if p.rows[1] < p.rows[0]:
+                return Work.zero()
+            w1 = K.sddmm_rows(pos, crd, vals, C, D, scratch, p.rows[0], p.rows[1])
+            w2 = K.spmm_rows(pos, crd, scratch, F, o, p.rows[0], p.rows[1])
+            return w1 + w2
+
+        return fused_rows
     if kind == "spttv":
         return _build_spttv_leaf(ck)
     if kind == "spmttkrp":

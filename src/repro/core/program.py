@@ -26,6 +26,7 @@ from ..legion.runtime import Runtime
 from ..taco.schedule import Schedule
 from . import cache as _cache
 from .compiler import CompiledKernel, ExecutionResult, compile_statement
+from .passes import PassRecord, pipeline_plan
 
 __all__ = ["CompiledProgram", "ProgramResult", "compile_program"]
 
@@ -79,6 +80,9 @@ class CompiledProgram:
         kernels: Sequence[CompiledKernel],
         machine: Machine,
         reused_from: Optional[Sequence[Optional[int]]] = None,
+        *,
+        passes: Optional[Sequence[PassRecord]] = None,
+        origin: Optional[Sequence[tuple]] = None,
     ):
         self.kernels: List[CompiledKernel] = list(kernels)
         self.machine = machine
@@ -87,6 +91,15 @@ class CompiledProgram:
         self.reused_from: List[Optional[int]] = (
             list(reused_from) if reused_from is not None
             else [None] * len(self.kernels)
+        )
+        #: What the pass pipeline did while compiling this program
+        #: (fold → dse → fuse → cse), in order.
+        self.passes: List[PassRecord] = list(passes) if passes is not None else []
+        #: Per compiled statement, the source-statement indices it came
+        #: from (fusion merges several; DSE removes some entirely).
+        self.origin: List[tuple] = (
+            list(origin) if origin is not None
+            else [(n,) for n in range(len(self.kernels))]
         )
         self._runtime: Optional[Runtime] = None
 
@@ -97,22 +110,53 @@ class CompiledProgram:
         return self.kernels[k]
 
     def describe(self) -> str:
-        """The generated partitioning code of every statement, in order."""
-        chunks = []
+        """The pass pipeline's provenance followed by the generated
+        partitioning code of every statement, in order."""
+        chunks = [f"// {rec.describe()}" for rec in self.passes]
         for n, ck in enumerate(self.kernels):
-            chunks.append(f"// statement {n}: {ck.schedule.assignment!r}")
+            src = self.origin[n] if n < len(self.origin) else (n,)
+            label = f"// statement {n}"
+            if tuple(src) != (n,):
+                label += f" (from source statement{'s' if len(src) > 1 else ''} " \
+                         f"{'+'.join(str(s) for s in src)})"
+            chunks.append(f"{label}: {ck.schedule.assignment!r}")
             chunks.append(ck.plan.describe())
         return "\n".join(chunks)
 
-    def _ensure_runtime(self, runtime: Optional[Runtime]) -> Runtime:
+    def _ensure_runtime(
+        self, runtime: Optional[Runtime], *, adopt: bool = True
+    ) -> Runtime:
         if runtime is not None:
-            self._runtime = runtime
-        elif self._runtime is None:
+            if runtime.machine is not self.machine and (
+                _cache._machine_signature(runtime.machine)
+                != _cache._machine_signature(self.machine)
+            ):
+                raise ValueError(
+                    "runtime machine "
+                    f"({runtime.machine.kind.value}, grid "
+                    f"{runtime.machine.grid.dims}) does not match the "
+                    f"program's machine ({self.machine.kind.value}, grid "
+                    f"{self.machine.grid.dims}); the compiled plans would "
+                    "map to the wrong processors"
+                )
+            if adopt:
+                self._runtime = runtime
+            return runtime
+        if self._runtime is None:
             self._runtime = Runtime(self.machine)
         return self._runtime
 
+    def reset_runtime(self) -> None:
+        """Forget the adopted runtime.  The next :meth:`execute` without an
+        explicit ``runtime`` builds a fresh one for ``self.machine``."""
+        self._runtime = None
+
     def execute(
-        self, runtime: Optional[Runtime] = None, *, fresh_trial: bool = True
+        self,
+        runtime: Optional[Runtime] = None,
+        *,
+        fresh_trial: bool = True,
+        adopt: bool = True,
     ) -> ProgramResult:
         """Run every statement once, in order, on one shared runtime.
 
@@ -120,8 +164,14 @@ class CompiledProgram:
         the whole program (not per statement), so intermediate results
         staged by one statement stay resident for its consumers within the
         same trial — matching what a fused multi-statement task graph pays.
+
+        An explicit ``runtime`` must belong to a machine equivalent to
+        ``self.machine`` (a :class:`ValueError` otherwise) and — with
+        ``adopt`` (the default) — becomes this program's runtime for later
+        calls too; pass ``adopt=False`` to use it for this call only, or
+        call :meth:`reset_runtime` to drop a previously adopted one.
         """
-        rt = self._ensure_runtime(runtime)
+        rt = self._ensure_runtime(runtime, adopt=adopt)
         if fresh_trial:
             rt.reset_residency()
         out = ProgramResult()
@@ -175,19 +225,30 @@ def compile_program(
     *,
     use_cache: bool = True,
     cse: bool = True,
+    fold: bool = True,
+    dse: bool = True,
+    fuse: bool = True,
+    keep=None,
     backend: Optional[str] = None,
 ) -> CompiledProgram:
     """Compile scheduled statements together into a :class:`CompiledProgram`.
 
-    Each statement compiles through the cache-aware single-statement
-    engine; because all statements share the process-wide kernel cache and
-    partition memo, operands appearing in several statements have their
-    coordinate-tree partitions derived once and replayed for every later
-    statement that splits them identically.  With ``cse`` (the default)
-    *identical* repeated statements additionally collapse: they compile to
-    the same :class:`CompiledKernel` (the cache guarantees that part) and
-    only the first occurrence executes per pass — later occurrences are
-    satisfied from it (see :func:`_cse_reuse_map` for the safety rules).
+    The ordered pass pipeline (:mod:`repro.core.passes`) runs first —
+    copy folding (``fold``), dead-store elimination (``dse``) and
+    SDDMM→SpMM fusion (``fuse``), each individually disableable, with
+    ``keep=`` pinning tensors (objects or names) that must stay
+    materialized.  Each surviving statement then compiles through the
+    cache-aware single-statement engine; because all statements share the
+    process-wide kernel cache and partition memo, operands appearing in
+    several statements have their coordinate-tree partitions derived once
+    and replayed for every later statement that splits them identically.
+    With ``cse`` (the default) *identical* repeated statements
+    additionally collapse: they compile to the same
+    :class:`CompiledKernel` (the cache guarantees that part) and only the
+    first occurrence executes per pass — later occurrences are satisfied
+    from it (see :func:`_cse_reuse_map` for the safety rules).  Which
+    passes fired — with statement provenance — is reported by
+    ``CompiledProgram.passes`` and :meth:`CompiledProgram.describe`.
     An empty program is an error — there is nothing to compile.
     ``backend`` is forwarded to every statement compile (None picks the
     process-wide codegen default; see :mod:`repro.codegen`).
@@ -196,12 +257,32 @@ def compile_program(
         raise ValueError("compile_program needs at least one scheduled statement")
     if machine is None:
         machine = Machine.cpu(1)
+    plan = pipeline_plan(
+        schedules, machine, fold=fold, dse=dse, fuse=fuse, keep=keep
+    )
     kernels = [
         compile_statement(s, machine, use_cache=use_cache, backend=backend)
-        for s in schedules
+        for s in plan.schedules
     ]
     reused_from = (
-        _cse_reuse_map(schedules, machine) if cse and len(schedules) > 1
+        _cse_reuse_map(plan.schedules, machine)
+        if cse and len(plan.schedules) > 1
         else None
     )
-    return CompiledProgram(kernels, machine, reused_from)
+    records = list(plan.records)
+    if not cse:
+        records.append(PassRecord("cse", False, (), "disabled"))
+    else:
+        collapsed = tuple(
+            plan.origin[n][0]
+            for n, r in enumerate(reused_from or [])
+            if r is not None
+        )
+        records.append(PassRecord(
+            "cse", bool(collapsed), collapsed,
+            "identical statements collapse to one execution"
+            if collapsed else "no identical repeated statements",
+        ))
+    return CompiledProgram(
+        kernels, machine, reused_from, passes=records, origin=plan.origin
+    )

@@ -36,6 +36,16 @@ Three gated scenarios, each compared against its most recent
   lowering work, and a >= 2x leaf-sweep acceptance floor.  The gated
   statistic is the leaf speedup.
 
+* **fusion** — the pass pipeline's SDDMM→SpMM kernel fusion against the
+  unfused two-statement chain (the fused statement inherits the
+  consumer's distribution strategy, so both sides accumulate the output
+  in the same float order).  Checked
+  unconditionally: the fused output is bit-identical to the unfused
+  chain, the warm-trial communication volume is strictly lower, and the
+  peak resident footprint is strictly smaller (the intermediate sparse
+  product never materializes as a resident region).  The gated statistic
+  is the warm communication-bytes reduction ratio.
+
 * **serving** — the multi-tenant serving layer: 8 tenant threads drive a
   mixed SpMV/SpMM/SDDMM open-loop load through one ``repro.Server``
   against the isolated-serial baseline (the same streams replayed
@@ -503,6 +513,133 @@ def check_codegen(write: bool, threshold: float) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# scenario: fusion (SDDMM→SpMM fused statement vs the unfused chain)
+# --------------------------------------------------------------------------- #
+def check_fusion(write: bool, threshold: float) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.api.autoschedule import auto_schedule
+    from repro.core import clear_caches
+    from repro.core.passes import FUSED_SDDMM_SPMM
+    from repro.core.program import compile_program
+    from repro.data.matrices import rmat
+    from repro.legion import Machine, Runtime
+    from repro.taco import CSR, Tensor, index_vars
+
+    NODES, RANK = 8, 16
+    machine = Machine.cpu(NODES)
+    G = rmat(11, edge_factor=8, seed=2)
+    n = G.shape[0]
+    rng = np.random.default_rng(5)
+    U_arr = rng.random((n, RANK)) * 0.1
+    V_arr = rng.random((RANK, n)) * 0.1
+    F_arr = rng.random((n, RANK))
+
+    def build(consumer_strategy):
+        """Fresh SDDMM→SpMM chain; the consumer's strategy is pinned so
+        fused and unfused runs accumulate in the same float order."""
+        B = Tensor.from_scipy("G", G, CSR)
+        U = Tensor.from_dense("U", U_arr)
+        V = Tensor.from_dense("V", V_arr)
+        F = Tensor.from_dense("F", F_arr)
+        E = Tensor.zeros("E", G.shape, CSR)
+        H = Tensor.zeros("H", (n, RANK))
+        i, j, k, i2, j2, k2 = index_vars("i j k i2 j2 k2")
+        E[i, j] = B[i, j] * U[i, k] * V[k, j]
+        H[i2, k2] = E[i2, j2] * F[j2, k2]
+        scheds = [
+            auto_schedule(E.assignment, machine),
+            auto_schedule(H.assignment, machine,
+                          strategy=consumer_strategy),
+        ]
+        return scheds, H
+
+    def run(fuse, consumer_strategy):
+        """Compile and execute one cold + one warm trial; returns the
+        warm trial's metrics plus the post-run resident footprint."""
+        scheds, H = build(consumer_strategy)
+        cp = compile_program(scheds, machine, fuse=fuse)
+        rt = Runtime(machine)
+        cp.execute(rt)  # cold: first-touch placements, trace recording
+        warm = cp.execute(rt)
+        peak = max(rt.resident_bytes_per_proc().values())
+        return cp, H.dense_array().copy(), warm, peak
+
+    clear_caches()
+    try:
+        # The fused statement inherits the consumer's strategy, so one pin
+        # fixes both sides' accumulation order (the bit-identity contract).
+        # Under the row split the unfused chain must redistribute the
+        # intermediate from the producer's non-zeros pieces to the
+        # consumer's row pieces — the traffic fusion deletes.
+        cp_f, h_fused, warm_f, peak_f = run(True, "rows")
+        cp_u, h_unfused, warm_u, peak_u = run(False, "rows")
+    finally:
+        clear_caches()
+
+    failures = []
+    kinds = [ck.kind for ck in cp_f.kernels]
+    if kinds != [FUSED_SDDMM_SPMM]:
+        failures.append(
+            f"the chain did not fuse to one {FUSED_SDDMM_SPMM} statement "
+            f"(compiled kinds: {kinds})"
+        )
+    if len(cp_u) != 2:
+        failures.append(f"the unfused reference compiled {len(cp_u)} "
+                        "statements, expected 2")
+    if not np.array_equal(h_fused, h_unfused):
+        failures.append("fused output is not bit-identical to the "
+                        "strategy-matched unfused chain")
+    ref = (G.multiply(U_arr @ V_arr)) @ F_arr
+    if not np.allclose(h_fused, ref):
+        failures.append("fused output diverges from the dense reference")
+    comm_f, comm_u = warm_f.total_comm_bytes(), warm_u.total_comm_bytes()
+    if not comm_f < comm_u:
+        failures.append(
+            f"fused warm comm {comm_f:.0f} B is not strictly lower than "
+            f"unfused {comm_u:.0f} B"
+        )
+    if not peak_f < peak_u:
+        failures.append(
+            f"fused peak resident footprint {peak_f:.0f} B is not strictly "
+            f"smaller than unfused {peak_u:.0f} B"
+        )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    # The gated statistic is the fraction of warm communication fusion
+    # deletes (a ratio would divide by zero — the fused row split moves
+    # nothing at all on a warm trial).
+    comm_saved = (comm_u - comm_f) / comm_u
+    footprint_ratio = peak_u / peak_f
+    print(f"fusion: warm comm {comm_u:.0f} -> {comm_f:.0f} B "
+          f"({100 * comm_saved:.0f}% saved), peak footprint {peak_u:.0f} -> "
+          f"{peak_f:.0f} B ({footprint_ratio:.2f}x less); fused output "
+          "bit-identical to the strategy-matched unfused chain")
+
+    def record():
+        payload = {
+            "scenario": "fusion",
+            "timestamp": time.strftime("%Y%m%d-%H%M%S"),
+            "fusion_comm_saved": comm_saved,
+            "fusion_footprint_ratio": footprint_ratio,
+            "fused_comm_bytes": comm_f,
+            "unfused_comm_bytes": comm_u,
+            "fused_peak_bytes": peak_f,
+            "unfused_peak_bytes": peak_u,
+        }
+        path = BENCH_DIR / f"BENCH_fusion_{payload['timestamp']}.json"
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+    return _gate_ratio("fusion", "fusion_comm_saved", comm_saved, write,
+                       threshold, record)
+
+
+# --------------------------------------------------------------------------- #
 # scenario: serving (multi-tenant amortization under a concurrent herd)
 # --------------------------------------------------------------------------- #
 def check_serving(write: bool, threshold: float) -> int:
@@ -562,7 +699,7 @@ def main(argv=None) -> int:
                     help="record new baselines instead of comparing")
     ap.add_argument("--scenario",
                     choices=("iterative", "warmstart", "figures", "autotune",
-                             "codegen", "serving", "all"),
+                             "codegen", "fusion", "serving", "all"),
                     default="all")
     args = ap.parse_args(argv)
 
@@ -578,6 +715,8 @@ def main(argv=None) -> int:
         rc |= check_autotune(args.write, args.threshold)
     if args.scenario in ("codegen", "all"):
         rc |= check_codegen(args.write, args.threshold)
+    if args.scenario in ("fusion", "all"):
+        rc |= check_fusion(args.write, args.threshold)
     if args.scenario in ("serving", "all"):
         rc |= check_serving(args.write, args.threshold)
     return rc

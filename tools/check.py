@@ -337,7 +337,8 @@ def _run_aot_sanitizer(cache: SourceCache) -> CheckResult:
 
     findings = []
     checked = 0
-    kinds = ("spmv", "spmm", "sddmm", "spttv", "spmttkrp")
+    kinds = ("spmv", "spmm", "sddmm", "fused_sddmm_spmm", "spttv",
+             "spmttkrp")
     fmts = ("csr", "csf", "ddc", "dense")
     strategies = ("rows", "nonzeros", "grid")
     for kind, fmt, strategy in itertools.product(kinds, fmts, strategies):
@@ -517,6 +518,106 @@ def _run_commplan(cache: SourceCache) -> CheckResult:
 
 
 # --------------------------------------------------------------------- #
+# SDDMM→SpMM fusion coherence (new)
+# --------------------------------------------------------------------- #
+def _fusable_chain(machine):
+    """A seeded SDDMM→SpMM chain as auto-scheduled statements."""
+    import numpy as np
+    import scipy.sparse as sp
+
+    from repro.api.autoschedule import auto_schedule
+    from repro.taco import CSR, Tensor, index_vars
+
+    rng = np.random.default_rng(3)
+    n, r, f = 24, 5, 6
+    nnz = max(1, int(n * n * 0.2))
+    mat = sp.coo_matrix(
+        (rng.integers(1, 5, nnz).astype(float),
+         (rng.integers(0, n, nnz), rng.integers(0, n, nnz))),
+        shape=(n, n),
+    )
+    mat.sum_duplicates()
+    B = Tensor.from_scipy("B", mat.tocsr(), CSR)
+    U = Tensor.from_dense("U", rng.integers(1, 5, (n, r)).astype(float))
+    V = Tensor.from_dense("V", rng.integers(1, 5, (r, n)).astype(float))
+    F = Tensor.from_dense("F", rng.integers(1, 5, (n, f)).astype(float))
+    E = Tensor.zeros("E", (n, n), CSR)
+    H = Tensor.zeros("H", (n, f))
+    i, j, k, i2, j2, k2 = index_vars("i j k i2 j2 k2")
+    E[i, j] = B[i, j] * U[i, k] * V[k, j]
+    H[i2, k2] = E[i2, j2] * F[j2, k2]
+    return [
+        auto_schedule(E.assignment, machine),
+        auto_schedule(H.assignment, machine),
+    ]
+
+
+def _run_fusion(cache: SourceCache) -> CheckResult:
+    """Every synthesized fusable chain must fuse into a coherent plan.
+
+    On both machine kinds, the pass pipeline must fuse the seeded
+    SDDMM→SpMM chain into one ``fused_sddmm_spmm`` statement, and for
+    every buildable strategy the fused statement's static communication
+    plan must derive without error and report no privilege-incoherent
+    distribution and no missing-``communicate`` duplicate transfers.
+    """
+    from repro.analysis.commplan import commplan_diagnostics, communication_plan
+    from repro.api.autoschedule import auto_schedule
+    from repro.core import clear_caches
+    from repro.core.passes import FUSED_SDDMM_SPMM, pipeline_plan
+    from repro.errors import MissingCommunicate, ScheduleError
+    from repro.legion import Machine
+
+    findings: List[Finding] = []
+    checked = 0
+    clear_caches()
+    try:
+        for machine_kind in ("cpu", "gpu"):
+            machine = Machine.gpu(4) if machine_kind == "gpu" else Machine.cpu(4)
+            scheds = _fusable_chain(machine)
+            plan = pipeline_plan(scheds, machine)
+            fuse_rec = next(r for r in plan.records if r.name == "fuse")
+            if not fuse_rec.fired or len(plan.schedules) != 1:
+                findings.append(Finding(
+                    "src/repro/core/passes.py", None,
+                    f"fusable SDDMM→SpMM chain did not fuse on "
+                    f"{machine_kind}: {fuse_rec.describe()}",
+                ))
+                continue
+            fused_asg = plan.schedules[0].assignment
+            for strategy in ("rows", "nonzeros"):
+                combo = f"{FUSED_SDDMM_SPMM}/{strategy}/{machine_kind}"
+                try:
+                    sched = auto_schedule(fused_asg, machine, strategy=strategy)
+                except ScheduleError:
+                    continue  # strategy not synthesizable for this machine
+                try:
+                    cplan = communication_plan(sched, machine)
+                    diags = commplan_diagnostics(sched, machine, plan=cplan)
+                except Exception as e:  # a plan must always derive
+                    findings.append(Finding(
+                        "src/repro/analysis/commplan.py", None,
+                        f"fused schedule {combo} has no static plan: "
+                        f"{type(e).__name__}: {e}",
+                    ))
+                    continue
+                checked += 1
+                for d in diags:
+                    if d.severity == "error" or d.error_type is MissingCommunicate:
+                        findings.append(Finding(
+                            "src/repro/analysis/commplan.py", None,
+                            f"fused schedule {combo} is incoherent: {d}",
+                        ))
+    finally:
+        clear_caches()
+    return CheckResult(
+        "fusion", findings,
+        f"{checked} fused SDDMM→SpMM schedules derive coherent static "
+        "communication plans",
+    )
+
+
+# --------------------------------------------------------------------- #
 # registry + CLI
 # --------------------------------------------------------------------- #
 PLUGINS: List[Plugin] = [
@@ -532,6 +633,8 @@ PLUGINS: List[Plugin] = [
            _run_aot_sanitizer),
     Plugin("commplan", "auto-synthesized schedules yield coherent static "
            "communication plans", _run_commplan),
+    Plugin("fusion", "fusable SDDMM→SpMM chains fuse into coherent static "
+           "plans", _run_fusion),
     Plugin("examples", "every examples/*.py runs clean (subprocesses)",
            _run_examples, slow=True),
 ]

@@ -102,6 +102,12 @@ WATCH = {
             exempt=("__init__",),
         ),
     ),
+    # The implicit einsum session: the module-global check-then-set in
+    # _default_session must stay under its lock — two racing sessionless
+    # einsum calls must agree on one session (one runtime, one memo).
+    "src/repro/api/einsum.py": (
+        Rule(targets=("_implicit_session",), lock="_SESSION_LOCK"),
+    ),
 }
 
 
